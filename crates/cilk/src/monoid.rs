@@ -1,0 +1,109 @@
+//! The untyped view-monoid interface the engine's view manager drives.
+//!
+//! A reducer is defined by an algebraic monoid `(T, ⊗, e)` (paper,
+//! Section 2). The engine manages *views* — instances of `T` living in the
+//! simulated arena — and invokes the monoid's operations at the points the
+//! Cilk runtime would:
+//!
+//! * [`ViewMonoid::create_identity`] the first time a strand updates the
+//!   reducer after a (simulated) steal;
+//! * [`ViewMonoid::update`] for each user update;
+//! * [`ViewMonoid::reduce`] when a dominated view is folded into the
+//!   adjacent view that dominates it.
+//!
+//! All three run against a [`ViewMem`], which routes every load and store
+//! through the active memory backend: in the serial engine that is the
+//! instrumentation layer (accesses tagged with the appropriate view-aware
+//! [`AccessKind`](crate::events::AccessKind), so races *inside* view
+//! management — like the `Reduce` race of the paper's Figure 1 — are
+//! visible to the detectors); in the parallel runtime it is the shared
+//! atomic arena.
+//!
+//! Typed, ergonomic wrappers over this interface live in the
+//! `rader-reducers` crate.
+
+use crate::mem::{Loc, Word};
+
+/// A memory backend a monoid's view code can run against.
+pub trait MemBackend {
+    /// Read the word at `loc`.
+    fn read(&mut self, loc: Loc) -> Word;
+    /// Write the word at `loc`.
+    fn write(&mut self, loc: Loc, v: Word);
+    /// Allocate `n` zero-initialized words.
+    fn alloc(&mut self, n: usize) -> Loc;
+}
+
+/// Memory surface exposed to monoid implementations.
+///
+/// A [`ViewMonoid`] only ever sees a `ViewMem`, not the full execution
+/// context: view code is serial by assumption (paper, Section 5) and may
+/// only touch memory.
+pub struct ViewMem<'a> {
+    backend: &'a mut dyn MemBackend,
+}
+
+impl<'a> ViewMem<'a> {
+    /// Wrap a backend.
+    pub fn new(backend: &'a mut dyn MemBackend) -> Self {
+        ViewMem { backend }
+    }
+
+    /// Instrumented read.
+    #[inline]
+    pub fn read(&mut self, loc: Loc) -> Word {
+        self.backend.read(loc)
+    }
+
+    /// Instrumented write.
+    #[inline]
+    pub fn write(&mut self, loc: Loc, v: Word) {
+        self.backend.write(loc, v)
+    }
+
+    /// Read `base + i`.
+    #[inline]
+    pub fn read_idx(&mut self, base: Loc, i: usize) -> Word {
+        self.backend.read(base.at(i))
+    }
+
+    /// Write `base + i`.
+    #[inline]
+    pub fn write_idx(&mut self, base: Loc, i: usize, v: Word) {
+        self.backend.write(base.at(i), v)
+    }
+
+    /// Allocate `n` zero-initialized words.
+    #[inline]
+    pub fn alloc(&mut self, n: usize) -> Loc {
+        self.backend.alloc(n)
+    }
+}
+
+/// Untyped monoid operations over arena-resident views.
+///
+/// A *view* is identified by the [`Loc`] of its root allocation; its layout
+/// is private to the monoid implementation. Update operations are encoded
+/// as small word slices (the typed wrappers do the encoding).
+///
+/// Implementations must be semantically associative for the reducer to
+/// produce deterministic results; they need *not* be commutative — the
+/// engine always folds views in serial order (the paper's key property of
+/// reducer hyperobjects).
+pub trait ViewMonoid: Send + Sync {
+    /// Allocate and initialize an identity view; returns its root location.
+    fn create_identity(&self, m: &mut ViewMem<'_>) -> Loc;
+
+    /// Fold `right` into `left` (`left = left ⊗ right`), destroying the
+    /// logical contents of `right`. `left` is always the older
+    /// (dominating) view; `right` the newer (dominated) one.
+    fn reduce(&self, m: &mut ViewMem<'_>, left: Loc, right: Loc);
+
+    /// Apply one update operation to `view`.
+    fn update(&self, m: &mut ViewMem<'_>, view: Loc, op: &[Word]);
+
+    /// Human-readable monoid name, for race reports and debugging.
+    fn name(&self) -> &'static str {
+        "monoid"
+    }
+}

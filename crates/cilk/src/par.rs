@@ -1,0 +1,615 @@
+//! A work-stealing parallel runtime with Cilk-reducer semantics.
+//!
+//! The paper's substrate is the Cilk Plus runtime: a randomized
+//! work-stealing scheduler whose reducer support creates a fresh view per
+//! steal and opportunistically reduces adjacent views. Continuation
+//! stealing cannot be expressed directly in safe Rust (there are no
+//! first-class continuations), so — per the standard recipe for emulating
+//! Cilk reducers atop a child-stealing pool such as rayon — this runtime
+//! uses *child stealing* with **ordered view slots**:
+//!
+//! * every `spawn` splits the current view slot into a child slot followed
+//!   by a continuation slot, preserving serial order in a slot tree;
+//! * updates go to the executing strand's slot (views materialized lazily,
+//!   exactly like steal-triggered views in Cilk — a slot whose subtree is
+//!   executed by the same worker back-to-back never materializes an extra
+//!   view unless it was updated);
+//! * every `sync` waits for the frame's spawned children, then folds the
+//!   block's slot tree **left to right** into the block-start slot.
+//!
+//! The observable contract is the same as Cilk's: with associative (not
+//! necessarily commutative) monoids and race-free code, the reducer's
+//! post-sync value equals the serial execution's, on any number of
+//! threads. Racy code (unsynchronized shared-cell writes, pre-sync view
+//! reads) really is nondeterministic here — the examples use this runtime
+//! to *exhibit* the bugs the detectors catch. Shared cells are atomics
+//! (relaxed), so simulated races yield arbitrary interleavings, not UB.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam_deque::{Injector, Steal, Stealer, Worker};
+use parking_lot::{Mutex, RwLock};
+
+use crate::events::ReducerId;
+use crate::mem::{Loc, Word};
+use crate::monoid::{MemBackend, ViewMem, ViewMonoid};
+
+/// Shared atomic arena for parallel execution.
+///
+/// Fixed capacity, bump-allocated; every cell is an `AtomicI64` accessed
+/// with relaxed ordering, so data races in simulated programs produce
+/// nondeterministic values rather than undefined behavior.
+pub struct ParArena {
+    cells: Vec<AtomicI64>,
+    next: AtomicUsize,
+}
+
+impl ParArena {
+    fn new(capacity: usize) -> Self {
+        let mut cells = Vec::with_capacity(capacity);
+        cells.resize_with(capacity, || AtomicI64::new(0));
+        ParArena {
+            cells,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    fn alloc(&self, n: usize) -> Loc {
+        let base = self.next.fetch_add(n, Ordering::Relaxed);
+        assert!(
+            base + n <= self.cells.len(),
+            "ParArena capacity exhausted ({} words); raise ParRuntime::arena_capacity",
+            self.cells.len()
+        );
+        Loc(base as u32)
+    }
+
+    #[inline]
+    fn get(&self, loc: Loc) -> Word {
+        self.cells[loc.index()].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn set(&self, loc: Loc, v: Word) {
+        self.cells[loc.index()].store(v, Ordering::Relaxed)
+    }
+}
+
+/// A view slot: one position in the serial order of reducer updates.
+struct Slot {
+    /// Lazily materialized views, one per reducer that was updated here.
+    views: Mutex<Vec<(ReducerId, Loc)>>,
+    /// Sub-slots in serial order (child slot, then continuation slot),
+    /// installed by the spawn that split this slot.
+    children: Mutex<Vec<Arc<Slot>>>,
+}
+
+impl Slot {
+    fn new() -> Arc<Slot> {
+        Arc::new(Slot {
+            views: Mutex::new(Vec::new()),
+            children: Mutex::new(Vec::new()),
+        })
+    }
+}
+
+/// A frame: tracks outstanding spawned children and the sync-block slot.
+struct FrameNode {
+    /// Spawned children that have not yet returned.
+    pending: AtomicUsize,
+}
+
+struct Job {
+    frame: Arc<FrameNode>, // parent frame, to decrement on completion
+    slot: Arc<Slot>,
+    f: Box<dyn FnOnce(&mut ParCtx<'_>) + Send>,
+}
+
+struct RtShared {
+    arena: ParArena,
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
+    monoids: RwLock<Vec<Arc<dyn ViewMonoid>>>,
+    shutdown: AtomicBool,
+    steals: AtomicUsize,
+    tasks: AtomicUsize,
+}
+
+/// Memory backend over the shared atomic arena.
+struct ParMem<'a> {
+    rt: &'a RtShared,
+}
+
+impl MemBackend for ParMem<'_> {
+    fn read(&mut self, loc: Loc) -> Word {
+        self.rt.arena.get(loc)
+    }
+    fn write(&mut self, loc: Loc, v: Word) {
+        self.rt.arena.set(loc, v)
+    }
+    fn alloc(&mut self, n: usize) -> Loc {
+        self.rt.arena.alloc(n)
+    }
+}
+
+/// Parallel execution context. The API mirrors the serial [`Ctx`]
+/// (`spawn`/`sync`/`par_for`/memory/reducers) minus instrumentation.
+///
+/// [`Ctx`]: crate::engine::Ctx
+pub struct ParCtx<'rt> {
+    rt: &'rt RtShared,
+    local: &'rt Worker<Job>,
+    worker_index: usize,
+    frame: Arc<FrameNode>,
+    /// Slot new updates land in.
+    slot: Arc<Slot>,
+    /// Slot at the start of the current sync block (fold target).
+    block_slot: Arc<Slot>,
+}
+
+impl<'rt> ParCtx<'rt> {
+    /// Allocate `n` zero-initialized words of shared memory.
+    pub fn alloc(&self, n: usize) -> Loc {
+        self.rt.arena.alloc(n)
+    }
+
+    /// Read shared cell `loc` (relaxed atomic).
+    pub fn read(&self, loc: Loc) -> Word {
+        self.rt.arena.get(loc)
+    }
+
+    /// Write shared cell `loc` (relaxed atomic).
+    pub fn write(&self, loc: Loc, v: Word) {
+        self.rt.arena.set(loc, v)
+    }
+
+    /// Read `base + i`.
+    pub fn read_idx(&self, base: Loc, i: usize) -> Word {
+        self.read(base.at(i))
+    }
+
+    /// Write `base + i`.
+    pub fn write_idx(&self, base: Loc, i: usize, v: Word) {
+        self.write(base.at(i), v)
+    }
+
+    /// Index of the worker thread executing this strand.
+    pub fn worker_index(&self) -> usize {
+        self.worker_index
+    }
+
+    /// Register a reducer.
+    pub fn new_reducer(&self, monoid: Arc<dyn ViewMonoid>) -> ReducerId {
+        let mut m = self.rt.monoids.write();
+        let h = ReducerId(m.len() as u32);
+        m.push(monoid);
+        h
+    }
+
+    /// Apply one update to reducer `h`'s view in the current slot.
+    pub fn reducer_update(&mut self, h: ReducerId, op: &[Word]) {
+        let monoid = self.rt.monoids.read()[h.index()].clone();
+        let view = {
+            let mut views = self.slot.views.lock();
+            match views.iter().find(|(r, _)| *r == h) {
+                Some(&(_, loc)) => loc,
+                None => {
+                    let mut mem = ParMem { rt: self.rt };
+                    let loc = monoid.create_identity(&mut ViewMem::new(&mut mem));
+                    views.push((h, loc));
+                    loc
+                }
+            }
+        };
+        let mut mem = ParMem { rt: self.rt };
+        monoid.update(&mut ViewMem::new(&mut mem), view, op);
+    }
+
+    /// `get_value`: the view visible to the current strand. Reading it
+    /// before a sync is exactly the view-read race the Peer-Set algorithm
+    /// detects — the value depends on scheduling.
+    pub fn reducer_get_view(&mut self, h: ReducerId) -> Loc {
+        let monoid = self.rt.monoids.read()[h.index()].clone();
+        let mut views = self.slot.views.lock();
+        match views.iter().find(|(r, _)| *r == h) {
+            Some(&(_, loc)) => loc,
+            None => {
+                let mut mem = ParMem { rt: self.rt };
+                let loc = monoid.create_identity(&mut ViewMem::new(&mut mem));
+                views.push((h, loc));
+                loc
+            }
+        }
+    }
+
+    /// `set_value`: make `loc` the current slot's view of `h`.
+    pub fn reducer_set_view(&mut self, h: ReducerId, loc: Loc) {
+        let mut views = self.slot.views.lock();
+        views.retain(|(r, _)| *r != h);
+        views.push((h, loc));
+    }
+
+    /// Spawn `f` as a child that may execute on another worker.
+    pub fn spawn(&mut self, f: impl FnOnce(&mut ParCtx<'_>) + Send + 'static) {
+        // Split the current slot: child slot before continuation slot.
+        let child_slot = Slot::new();
+        let cont_slot = Slot::new();
+        {
+            let mut ch = self.slot.children.lock();
+            ch.push(child_slot.clone());
+            ch.push(cont_slot.clone());
+        }
+        self.slot = cont_slot;
+        self.frame.pending.fetch_add(1, Ordering::AcqRel);
+        self.rt.tasks.fetch_add(1, Ordering::Relaxed);
+        self.local.push(Job {
+            frame: self.frame.clone(),
+            slot: child_slot,
+            f: Box::new(f),
+        });
+    }
+
+    /// Wait for all spawned children of this frame; fold the block's view
+    /// slots in serial order.
+    pub fn sync(&mut self) {
+        while self.frame.pending.load(Ordering::Acquire) != 0 {
+            if let Some(job) = find_job(self.rt, self.local) {
+                run_job(self.rt, self.local, self.worker_index, job);
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        fold_slot(self.rt, &self.block_slot);
+        self.slot = self.block_slot.clone();
+    }
+
+    /// Parallel loop, lowered to divide-and-conquer spawns.
+    ///
+    /// `body` must be cloneable state shared across workers (typically a
+    /// capture of `Loc`s and `ReducerId`s, which are `Copy`).
+    pub fn par_for<F>(&mut self, range: Range<u64>, grain: u64, body: F)
+    where
+        F: Fn(&mut ParCtx<'_>, u64) + Send + Sync + Clone + 'static,
+    {
+        let grain = grain.max(1);
+        par_for_rec(self, range, grain, body);
+        self.sync();
+    }
+}
+
+fn par_for_rec<F>(cx: &mut ParCtx<'_>, range: Range<u64>, grain: u64, body: F)
+where
+    F: Fn(&mut ParCtx<'_>, u64) + Send + Sync + Clone + 'static,
+{
+    if range.end - range.start <= grain {
+        for i in range {
+            body(cx, i);
+        }
+        return;
+    }
+    let mid = range.start + (range.end - range.start) / 2;
+    let left = range.start..mid;
+    let right = mid..range.end;
+    let body2 = body.clone();
+    cx.spawn(move |cx| {
+        par_for_rec(cx, left, grain, body2);
+        cx.sync();
+    });
+    par_for_rec(cx, right, grain, body);
+}
+
+/// Fold `slot`'s subtree into `slot.views`, left to right (serial order),
+/// then clear its children. Caller must ensure the subtree is quiescent.
+fn fold_slot(rt: &RtShared, slot: &Arc<Slot>) {
+    let children: Vec<Arc<Slot>> = std::mem::take(&mut *slot.children.lock());
+    for child in children {
+        fold_slot(rt, &child);
+        let child_views: Vec<(ReducerId, Loc)> = std::mem::take(&mut *child.views.lock());
+        for (h, right) in child_views {
+            let monoid = rt.monoids.read()[h.index()].clone();
+            let mut views = slot.views.lock();
+            match views.iter().find(|(r, _)| *r == h) {
+                Some(&(_, left)) => {
+                    drop(views);
+                    let mut mem = ParMem { rt };
+                    monoid.reduce(&mut ViewMem::new(&mut mem), left, right);
+                }
+                None => {
+                    views.push((h, right));
+                }
+            }
+        }
+    }
+}
+
+fn find_job(rt: &RtShared, local: &Worker<Job>) -> Option<Job> {
+    if let Some(job) = local.pop() {
+        return Some(job);
+    }
+    // Try the global injector, then steal from siblings.
+    loop {
+        match rt.injector.steal_batch_and_pop(local) {
+            Steal::Success(job) => {
+                rt.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(job);
+            }
+            Steal::Empty => break,
+            Steal::Retry => continue,
+        }
+    }
+    let n = rt.stealers.len();
+    for s in &rt.stealers[..n] {
+        loop {
+            match s.steal() {
+                Steal::Success(job) => {
+                    rt.steals.fetch_add(1, Ordering::Relaxed);
+                    return Some(job);
+                }
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+    }
+    None
+}
+
+fn run_job(rt: &RtShared, local: &Worker<Job>, worker_index: usize, job: Job) {
+    let child_frame = Arc::new(FrameNode {
+        pending: AtomicUsize::new(0),
+    });
+    let mut cx = ParCtx {
+        rt,
+        local,
+        worker_index,
+        frame: child_frame,
+        block_slot: job.slot.clone(),
+        slot: job.slot,
+    };
+    (job.f)(&mut cx);
+    cx.sync(); // implicit sync before a Cilk function returns
+    job.frame.pending.fetch_sub(1, Ordering::AcqRel);
+}
+
+/// Statistics from a parallel run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParStats {
+    /// Successful steals (jobs taken from another worker or the injector).
+    pub steals: usize,
+    /// Total spawned tasks.
+    pub tasks: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Words of shared memory allocated.
+    pub arena_words: usize,
+}
+
+/// The work-stealing thread pool.
+///
+/// ```
+/// use rader_cilk::par::ParRuntime;
+///
+/// let rt = ParRuntime::new(4);
+/// let (_stats, total) = rt.run(move |cx| {
+///     let cell = cx.alloc(1);
+///     cx.write(cell, 20);
+///     cx.spawn(move |cx| {
+///         let v = cx.read(cell);
+///         cx.write(cell, v + 22);
+///     });
+///     cx.sync();
+///     cx.read(cell)
+/// });
+/// assert_eq!(total, 42);
+/// ```
+pub struct ParRuntime {
+    workers: usize,
+    arena_capacity: usize,
+}
+
+impl ParRuntime {
+    /// Pool with `workers` threads (minimum 1) and the default arena
+    /// capacity (2^22 words = 32 MiB).
+    pub fn new(workers: usize) -> Self {
+        ParRuntime {
+            workers: workers.max(1),
+            arena_capacity: 1 << 22,
+        }
+    }
+
+    /// Override the shared-arena capacity (in words).
+    pub fn with_arena_capacity(mut self, words: usize) -> Self {
+        self.arena_capacity = words;
+        self
+    }
+
+    /// Run `program` to completion on the pool; returns run statistics and
+    /// the program's result. The calling thread acts as worker 0.
+    pub fn run<R: Send>(
+        &self,
+        program: impl FnOnce(&mut ParCtx<'_>) -> R + Send,
+    ) -> (ParStats, R) {
+        let workers: Vec<Worker<Job>> = (0..self.workers).map(|_| Worker::new_lifo()).collect();
+        let stealers: Vec<Stealer<Job>> = workers.iter().map(|w| w.stealer()).collect();
+        let rt = RtShared {
+            arena: ParArena::new(self.arena_capacity),
+            injector: Injector::new(),
+            stealers,
+            monoids: RwLock::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+            steals: AtomicUsize::new(0),
+            tasks: AtomicUsize::new(0),
+        };
+        let mut workers = workers;
+        let my_worker = workers.remove(0);
+        let nworkers = self.workers;
+
+        let result = std::thread::scope(|scope| {
+            // Helper workers: steal and run jobs until shutdown.
+            for (i, w) in workers.into_iter().enumerate() {
+                let rt = &rt;
+                scope.spawn(move || {
+                    let w = w;
+                    while !rt.shutdown.load(Ordering::Acquire) {
+                        if let Some(job) = find_job(rt, &w) {
+                            run_job(rt, &w, i + 1, job);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            // Worker 0 runs the root frame.
+            let root_frame = Arc::new(FrameNode {
+                pending: AtomicUsize::new(0),
+            });
+            let root_slot = Slot::new();
+            let mut cx = ParCtx {
+                rt: &rt,
+                local: &my_worker,
+                worker_index: 0,
+                frame: root_frame,
+                block_slot: root_slot.clone(),
+                slot: root_slot,
+            };
+            let r = program(&mut cx);
+            cx.sync();
+            rt.shutdown.store(true, Ordering::Release);
+            r
+        });
+
+        let stats = ParStats {
+            steals: rt.steals.load(Ordering::Relaxed),
+            tasks: rt.tasks.load(Ordering::Relaxed),
+            workers: nworkers,
+            arena_words: rt.arena.next.load(Ordering::Relaxed),
+        };
+        (stats, result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{HashConcat, SynthAdd};
+
+    #[test]
+    fn parallel_sum_matches_serial() {
+        let rt = ParRuntime::new(4);
+        let (_stats, total) = rt.run(|cx| {
+            let h = cx.new_reducer(Arc::new(SynthAdd));
+            cx.par_for(1..101u64, 4, move |cx, i| {
+                cx.reducer_update(h, &[i as Word]);
+            });
+            let v = cx.reducer_get_view(h);
+            cx.read(v)
+        });
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn non_commutative_fold_is_serial_order_on_many_threads() {
+        let ops: Vec<Word> = (1..=64).collect();
+        let expect = HashConcat::reference(&ops);
+        for workers in [1, 2, 4, 8] {
+            for trial in 0..5 {
+                let ops = ops.clone();
+                let rt = ParRuntime::new(workers);
+                let (_s, got) = rt.run(move |cx| {
+                    let h = cx.new_reducer(Arc::new(HashConcat));
+                    for &x in &ops {
+                        cx.spawn(move |cx| cx.reducer_update(h, &[x]));
+                    }
+                    cx.sync();
+                    let v = cx.reducer_get_view(h);
+                    cx.read(v.at(1))
+                });
+                assert_eq!(got, expect, "workers={workers} trial={trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn nested_spawns_join_correctly() {
+        let rt = ParRuntime::new(4);
+        let (_s, v) = rt.run(|cx| {
+            let h = cx.new_reducer(Arc::new(SynthAdd));
+            for _ in 0..4 {
+                cx.spawn(move |cx| {
+                    for _ in 0..4 {
+                        cx.spawn(move |cx| cx.reducer_update(h, &[1]));
+                    }
+                    cx.sync();
+                    cx.reducer_update(h, &[10]);
+                });
+            }
+            cx.sync();
+            let v = cx.reducer_get_view(h);
+            cx.read(v)
+        });
+        assert_eq!(v, 4 * 4 + 4 * 10);
+    }
+
+    #[test]
+    fn work_actually_distributes() {
+        // With enough tasks, some steals should happen on multi-worker
+        // pools (statistically certain with 512 tasks and busy-wait
+        // helpers; not a strict guarantee, so retry a few times).
+        let mut stole = false;
+        for _ in 0..10 {
+            let rt = ParRuntime::new(4);
+            let (stats, _) = rt.run(|cx| {
+                let h = cx.new_reducer(Arc::new(SynthAdd));
+                cx.par_for(0..512, 1, move |cx, _| {
+                    // Enough work per task that helpers can wake up and
+                    // steal even in release builds.
+                    let mut acc = 0u64;
+                    for i in 0..50_000 {
+                        acc = acc.wrapping_mul(31).wrapping_add(i);
+                    }
+                    cx.reducer_update(h, &[(acc % 3) as Word]);
+                });
+            });
+            if stats.steals > 0 {
+                stole = true;
+                break;
+            }
+        }
+        assert!(stole, "no steals observed across 10 runs of 512 tasks");
+    }
+
+    #[test]
+    fn racy_counter_demonstrates_lost_updates_or_not() {
+        // Unsynchronized read-modify-write of a shared cell: the result is
+        // nondeterministic. We only assert it never *exceeds* the correct
+        // count and that the runtime doesn't crash.
+        let rt = ParRuntime::new(4);
+        let (_s, v) = rt.run(|cx| {
+            let cell = cx.alloc(1);
+            cx.par_for(0..256, 1, move |cx, _| {
+                let v = cx.read(cell);
+                cx.write(cell, v + 1);
+            });
+            cx.read(cell)
+        });
+        assert!(v <= 256);
+        assert!(v > 0);
+    }
+
+    #[test]
+    fn set_view_then_updates_land_in_it() {
+        let rt = ParRuntime::new(2);
+        let (_s, v) = rt.run(|cx| {
+            let h = cx.new_reducer(Arc::new(SynthAdd));
+            let cell = cx.alloc(1);
+            cx.write(cell, 100);
+            cx.reducer_set_view(h, cell);
+            cx.reducer_update(h, &[5]);
+            cx.sync();
+            let v = cx.reducer_get_view(h);
+            cx.read(v)
+        });
+        assert_eq!(v, 105);
+    }
+}

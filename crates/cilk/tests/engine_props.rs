@@ -1,0 +1,102 @@
+//! Engine-level property tests: view management must uphold the paper's
+//! view invariants under *arbitrary* steal specifications, including
+//! scripts with eagerly interleaved reduces.
+
+use proptest::prelude::*;
+
+use rader_cilk::synth::{gen_racefree, run_synth, GenConfig, HashConcat};
+use rader_cilk::{BlockOp, BlockScript, SerialEngine, StealSpec, Word};
+
+/// Strategy: a random well-formed block script — strictly increasing
+/// steal indices with 0–2 reduce tokens before each steal and after the
+/// last one.
+fn arb_script() -> impl Strategy<Value = BlockScript> {
+    (
+        prop::collection::btree_set(1u32..10, 0..5),
+        prop::collection::vec(0usize..3, 6),
+    )
+        .prop_map(|(steals, reduces)| {
+            let mut ops = Vec::new();
+            for (i, s) in steals.iter().enumerate() {
+                for _ in 0..reduces[i % reduces.len()] {
+                    ops.push(BlockOp::Reduce);
+                }
+                ops.push(BlockOp::Steal(*s));
+            }
+            for _ in 0..reduces[5] {
+                ops.push(BlockOp::Reduce);
+            }
+            BlockScript::new(ops)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Race-free programs produce identical reducer values under every
+    /// script — even ones with redundant or early reduce tokens.
+    #[test]
+    fn racefree_results_invariant_under_arbitrary_scripts(
+        seed in any::<u64>(),
+        script in arb_script(),
+    ) {
+        let cfg = GenConfig::default();
+        let prog = gen_racefree(seed, &cfg);
+        let mut base = Vec::new();
+        SerialEngine::new().run(|cx| base = run_synth(cx, &prog));
+        let mut got = Vec::new();
+        SerialEngine::with_spec(StealSpec::EveryBlock(script.clone()))
+            .run(|cx| got = run_synth(cx, &prog));
+        prop_assert_eq!(got, base, "script {:?}", script);
+    }
+
+    /// The order-sensitive monoid agrees with the reference fold under
+    /// every script, for every operand count: the engine's fold order is
+    /// exactly serial order.
+    #[test]
+    fn fold_order_is_serial_under_arbitrary_scripts(
+        n in 1usize..24,
+        script in arb_script(),
+    ) {
+        use std::sync::Arc;
+        let ops: Vec<Word> = (1..=n as Word).collect();
+        let expect = HashConcat::reference(&ops);
+        let mut got = 0;
+        SerialEngine::with_spec(StealSpec::EveryBlock(script.clone())).run(|cx| {
+            let h = cx.new_reducer(Arc::new(HashConcat));
+            for &x in &ops {
+                cx.spawn(move |cx| cx.reducer_update(h, &[x]));
+            }
+            cx.sync();
+            let v = cx.reducer_get_view(h);
+            got = cx.read(v.at(1));
+        });
+        prop_assert_eq!(got, expect, "script {:?}", script);
+    }
+
+    /// Structural engine invariants hold on every run: balanced frames,
+    /// steals ≥ reduce merges never diverge (each steal's view is
+    /// destroyed by exactly one merge by the end), and instrumented and
+    /// uninstrumented runs report identical statistics.
+    #[test]
+    fn engine_invariants(seed in any::<u64>(), script in arb_script()) {
+        let cfg = GenConfig { view_aliasing: false, ..GenConfig::default() };
+        let prog = rader_cilk::synth::gen_program(seed, &cfg);
+        let spec = StealSpec::EveryBlock(script);
+        let a = SerialEngine::with_spec(spec.clone()).run(|cx| {
+            run_synth(cx, &prog);
+        });
+        prop_assert_eq!(a.steals, a.reduce_merges,
+            "every simulated steal's view must be merged exactly once");
+        let mut tool = rader_cilk::CountingTool::default();
+        let b = SerialEngine::with_spec(spec).run_tool(&mut tool, |cx| {
+            run_synth(cx, &prog);
+        });
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(tool.frame_enters, tool.frame_leaves);
+        prop_assert_eq!(tool.frame_enters, a.frames);
+        prop_assert_eq!(tool.steals, a.steals);
+        prop_assert_eq!(tool.reduces, a.reduce_merges);
+        prop_assert_eq!(tool.reads + tool.writes, a.reads + a.writes);
+    }
+}

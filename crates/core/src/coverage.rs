@@ -1,0 +1,560 @@
+//! Section-7 coverage: steal-specification families that elicit every
+//! possible view-aware strand of an ostensibly deterministic program.
+//!
+//! A single SP+ run checks one schedule. The paper shows that for an
+//! *ostensibly deterministic* program (view-oblivious instructions fixed
+//! across schedules; semantically associative reduces):
+//!
+//! * **Theorem 6** — Θ(M) specifications elicit all possible *update*
+//!   strands, where `M ≤ KD` is the maximum number of unsynced
+//!   continuations along any path: steal every continuation at spawn
+//!   count `j`, for each `j` (a breadth-first sweep of P-depths).
+//! * **Theorem 7** — Ω(K³) reduce trees are needed, and `(K choose 3)`
+//!   specifications suffice, to elicit all possible *reduce* operations
+//!   on a size-K sync block: the spec
+//!   `[Steal(a), Steal(b), Reduce, Steal(c)]` elicits the reduce that
+//!   combines the views spanning continuations `[a, b)` and `[b, c)` —
+//!   the `(a, b, c)` operation.
+//!
+//! [`exhaustive_check`] runs SP+ under both families plus the no-steal
+//! base case and merges the reports, giving the paper's coverage
+//! guarantee for races involving at least one view-oblivious strand.
+
+use std::sync::{Arc, Mutex};
+
+use rader_cilk::{
+    BlockOp, BlockScript, Ctx, Loc, SerialEngine, StealSpec, ViewMem, ViewMonoid, Word,
+};
+
+use crate::report::RaceReport;
+use crate::spplus::SpPlus;
+
+/// Theorem 6 family: one spec per spawn count `1..=max_spawn_count`.
+pub fn update_coverage_specs(max_spawn_count: u32) -> Vec<StealSpec> {
+    (1..=max_spawn_count).map(StealSpec::AtSpawnCount).collect()
+}
+
+/// Theorem 7 family: one spec per boundary triple `a < b < c ≤ k`,
+/// each eliciting the `(a, b, c)` reduce operation in every sync block.
+pub fn reduce_coverage_specs(k: u32) -> Vec<StealSpec> {
+    let mut specs = Vec::new();
+    for a in 1..=k {
+        for b in (a + 1)..=k {
+            for c in (b + 1)..=k {
+                specs.push(StealSpec::EveryBlock(BlockScript::new(vec![
+                    BlockOp::Steal(a),
+                    BlockOp::Steal(b),
+                    BlockOp::Reduce,
+                    BlockOp::Steal(c),
+                ])));
+            }
+        }
+    }
+    // Pairs (two views merged at the sync) and singletons are also
+    // distinct reduce ops; include them so small blocks get coverage.
+    for a in 1..=k {
+        for b in (a + 1)..=k {
+            specs.push(StealSpec::EveryBlock(BlockScript::steals(vec![a, b])));
+        }
+        specs.push(StealSpec::EveryBlock(BlockScript::steals(vec![a])));
+    }
+    specs
+}
+
+/// Options for [`exhaustive_check`].
+#[derive(Clone, Copy, Debug)]
+pub struct CoverageOptions {
+    /// Run the Theorem-6 update-coverage family.
+    pub updates: bool,
+    /// Run the Theorem-7 reduce-coverage family.
+    pub reduces: bool,
+    /// Cap on the sync-block size swept by the reduce family (the cubic
+    /// family gets large quickly; `None` uses the measured K).
+    pub max_k: Option<u32>,
+    /// Cap on the spawn count swept by the update family.
+    pub max_spawn_count: Option<u32>,
+}
+
+impl Default for CoverageOptions {
+    fn default() -> Self {
+        CoverageOptions {
+            updates: true,
+            reduces: true,
+            max_k: None,
+            max_spawn_count: None,
+        }
+    }
+}
+
+/// Result of an exhaustive SP+ sweep.
+#[derive(Debug)]
+pub struct ExhaustiveReport {
+    /// Merged race report across all specifications.
+    pub report: RaceReport,
+    /// The specifications that exposed races, with what they found — the
+    /// paper's regression story: "Rader reports the labels corresponding
+    /// to the stolen continuations that triggered the race, making it
+    /// easy to repeat the run for regression tests". Re-running SP+ with
+    /// any stored specification reproduces its findings deterministically.
+    pub findings: Vec<(StealSpec, RaceReport)>,
+    /// Number of SP+ runs performed.
+    pub runs: usize,
+    /// Measured maximum sync-block size `K`.
+    pub k: u32,
+    /// Measured maximum spawn count `M`.
+    pub m: u32,
+}
+
+impl ExhaustiveReport {
+    /// Re-run SP+ under a stored finding's specification, reproducing it.
+    pub fn reproduce(
+        program: impl Fn(&mut Ctx<'_>),
+        finding: &(StealSpec, RaceReport),
+    ) -> RaceReport {
+        let mut tool = SpPlus::new();
+        SerialEngine::with_spec(finding.0.clone()).run_tool(&mut tool, program);
+        tool.into_report()
+    }
+}
+
+/// Run SP+ under the Section-7 specification families (plus the no-steal
+/// base case) and merge the findings.
+///
+/// The program must be re-runnable (`Fn`), deterministic in its
+/// view-oblivious part, and use only associative reduces — the paper's
+/// "ostensibly deterministic" precondition.
+pub fn exhaustive_check(
+    program: impl Fn(&mut Ctx<'_>),
+    opts: &CoverageOptions,
+) -> ExhaustiveReport {
+    // Measure K and M with an uninstrumented run.
+    let stats = SerialEngine::new().run(&program);
+    let k = opts.max_k.unwrap_or(stats.max_sync_block).min(stats.max_sync_block);
+    let m = opts
+        .max_spawn_count
+        .unwrap_or(stats.max_spawn_count)
+        .min(stats.max_spawn_count);
+
+    let mut specs = vec![StealSpec::None];
+    if opts.updates {
+        specs.extend(update_coverage_specs(m));
+    }
+    if opts.reduces {
+        specs.extend(reduce_coverage_specs(k));
+    }
+
+    let mut report = RaceReport::default();
+    let mut findings = Vec::new();
+    let runs = specs.len();
+    for spec in specs {
+        let mut tool = SpPlus::new();
+        SerialEngine::with_spec(spec.clone()).run_tool(&mut tool, &program);
+        if tool.report().has_races() {
+            findings.push((spec, tool.report().clone()));
+        }
+        report.merge(tool.report());
+    }
+    ExhaustiveReport {
+        report,
+        findings,
+        runs,
+        k,
+        m,
+    }
+}
+
+/// As [`exhaustive_check`], but running the independent SP+ sweeps on
+/// `threads` OS threads. The sweep dominates checking cost (Θ(M) + Θ(K³)
+/// serial runs), and the runs share nothing, so this scales nearly
+/// linearly. Findings are returned in deterministic (spec) order.
+pub fn exhaustive_check_parallel(
+    program: impl Fn(&mut Ctx<'_>) + Sync,
+    opts: &CoverageOptions,
+    threads: usize,
+) -> ExhaustiveReport {
+    let stats = SerialEngine::new().run(&program);
+    let k = opts.max_k.unwrap_or(stats.max_sync_block).min(stats.max_sync_block);
+    let m = opts
+        .max_spawn_count
+        .unwrap_or(stats.max_spawn_count)
+        .min(stats.max_spawn_count);
+    let mut specs = vec![StealSpec::None];
+    if opts.updates {
+        specs.extend(update_coverage_specs(m));
+    }
+    if opts.reduces {
+        specs.extend(reduce_coverage_specs(k));
+    }
+    let runs = specs.len();
+    let threads = threads.max(1).min(runs.max(1));
+    let results: Vec<(usize, RaceReport)> = std::thread::scope(|scope| {
+        let program = &program;
+        let specs = &specs;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::new();
+                let mut i = t;
+                while i < specs.len() {
+                    let mut tool = SpPlus::new();
+                    SerialEngine::with_spec(specs[i].clone()).run_tool(&mut tool, program);
+                    local.push((i, tool.into_report()));
+                    i += threads;
+                }
+                local
+            }));
+        }
+        let mut all: Vec<(usize, RaceReport)> =
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_by_key(|(i, _)| *i);
+        all
+    });
+    let mut report = RaceReport::default();
+    let mut findings = Vec::new();
+    for (i, r) in results {
+        if r.has_races() {
+            findings.push((specs[i].clone(), r.clone()));
+        }
+        report.merge(&r);
+    }
+    ExhaustiveReport {
+        report,
+        findings,
+        runs,
+        k,
+        m,
+    }
+}
+
+/// Minimize a race-exposing `EveryBlock` steal specification: greedily
+/// drop script actions while SP+ still reports a race on at least one of
+/// the originally racy locations. The result is a smaller reproducer for
+/// regression tests (ddmin-style, linear passes to a fixpoint).
+///
+/// Returns the input unchanged for non-`EveryBlock` specifications or if
+/// the specification exposes no race to begin with.
+pub fn minimize_spec(program: impl Fn(&mut Ctx<'_>), spec: &StealSpec) -> StealSpec {
+    let racy_under = |candidate: &StealSpec| {
+        let mut tool = SpPlus::new();
+        SerialEngine::with_spec(candidate.clone()).run_tool(&mut tool, &program);
+        tool.report().racy_locs()
+    };
+    let target = racy_under(spec);
+    if target.is_empty() {
+        return spec.clone();
+    }
+    let StealSpec::EveryBlock(script) = spec else {
+        return spec.clone();
+    };
+    let mut ops: Vec<BlockOp> = script.ops().to_vec();
+    let still_exposes = |ops: &[BlockOp]| {
+        let candidate = StealSpec::EveryBlock(BlockScript::new(ops.to_vec()));
+        !racy_under(&candidate).is_disjoint(&target)
+    };
+    loop {
+        let mut shrunk = false;
+        let mut i = 0;
+        while i < ops.len() {
+            let mut trial = ops.clone();
+            trial.remove(i);
+            if still_exposes(&trial) {
+                ops = trial;
+                shrunk = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+    StealSpec::EveryBlock(BlockScript::new(ops))
+}
+
+/// Identity of a reduce operation on a sync block: the continuation
+/// spans of its two operands, `(left_first, left_len, right_first,
+/// right_len)` in units of update indices. Used by the Theorem-7
+/// experiment to count distinct elicited operations.
+pub type ReduceOpId = (Word, Word, Word, Word);
+
+/// A monoid that *logs every reduce operation's operand spans*, for the
+/// coverage experiments. Views are `[first_update_index, update_count]`;
+/// the shared log records one [`ReduceOpId`] per executed reduce with
+/// non-empty operands.
+pub struct ReduceLogger {
+    log: Arc<Mutex<Vec<ReduceOpId>>>,
+}
+
+impl ReduceLogger {
+    /// Create a logger and a handle to its shared log.
+    pub fn new() -> (Self, Arc<Mutex<Vec<ReduceOpId>>>) {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        (ReduceLogger { log: log.clone() }, log)
+    }
+}
+
+impl ViewMonoid for ReduceLogger {
+    fn create_identity(&self, m: &mut ViewMem<'_>) -> Loc {
+        let l = m.alloc(2);
+        m.write(l, -1); // first = none
+        l
+    }
+    fn reduce(&self, m: &mut ViewMem<'_>, left: Loc, right: Loc) {
+        let lf = m.read(left);
+        let ln = m.read(left.at(1));
+        let rf = m.read(right);
+        let rn = m.read(right.at(1));
+        if ln > 0 && rn > 0 {
+            self.log.lock().unwrap().push((lf, ln, rf, rn));
+        }
+        if ln == 0 {
+            m.write(left, rf);
+        }
+        m.write(left.at(1), ln + rn);
+    }
+    fn update(&self, m: &mut ViewMem<'_>, view: Loc, op: &[Word]) {
+        let n = m.read(view.at(1));
+        if n == 0 {
+            m.write(view, op[0]);
+        }
+        m.write(view.at(1), n + 1);
+    }
+    fn name(&self) -> &'static str {
+        "reduce-logger"
+    }
+}
+
+/// Count the distinct reduce operations elicited on a flat block of `k`
+/// spawned updates by a family of specs (the Theorem-7 experiment).
+///
+/// The program spawns `k` children, each performing exactly one update
+/// (update index = continuation index), then syncs. Returns
+/// `(distinct_ops, spec_count)`.
+pub fn count_elicited_reduce_ops(k: u32, specs: &[StealSpec]) -> (usize, usize) {
+    use std::collections::BTreeSet;
+    let mut distinct: BTreeSet<ReduceOpId> = BTreeSet::new();
+    for spec in specs {
+        let (logger, log) = ReduceLogger::new();
+        let monoid = Arc::new(logger);
+        SerialEngine::with_spec(spec.clone()).run(|cx| {
+            let h = cx.new_reducer(monoid.clone());
+            for i in 0..k as Word {
+                cx.spawn(move |cx| cx.reducer_update(h, &[i]));
+            }
+            cx.sync();
+        });
+        distinct.extend(log.lock().unwrap().iter().copied());
+    }
+    (distinct.len(), specs.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rader_cilk::synth::SynthAdd;
+
+    #[test]
+    fn update_family_size_is_m() {
+        assert_eq!(update_coverage_specs(5).len(), 5);
+    }
+
+    #[test]
+    fn reduce_family_size_is_cubic_plus_lower_terms() {
+        let k = 6u32;
+        let expect = (1..=k)
+            .flat_map(|a| ((a + 1)..=k).flat_map(move |b| ((b + 1)..=k).map(move |_| ())))
+            .count()
+            + (k as usize * (k as usize - 1)) / 2
+            + k as usize;
+        assert_eq!(reduce_coverage_specs(k).len(), expect);
+    }
+
+    #[test]
+    fn triple_spec_elicits_the_abc_reduce_op() {
+        // Steal at 1 and 3, reduce before stealing 5: the logged op must
+        // combine spans [1,3) and [3,5) — operand lengths 2 and 2, with
+        // first update indices 1 and 3.
+        let spec = StealSpec::EveryBlock(BlockScript::new(vec![
+            BlockOp::Steal(1),
+            BlockOp::Steal(3),
+            BlockOp::Reduce,
+            BlockOp::Steal(5),
+        ]));
+        let (logger, log) = ReduceLogger::new();
+        let monoid = Arc::new(logger);
+        SerialEngine::with_spec(spec).run(|cx| {
+            let h = cx.new_reducer(monoid.clone());
+            for i in 0..6 as Word {
+                cx.spawn(move |cx| cx.reducer_update(h, &[i]));
+            }
+            cx.sync();
+        });
+        let ops = log.lock().unwrap().clone();
+        assert!(
+            ops.contains(&(1, 2, 3, 2)),
+            "expected the (1,3,5) reduce op; got {ops:?}"
+        );
+    }
+
+    #[test]
+    fn full_family_elicits_all_interior_reduce_ops() {
+        // On a flat block of k updates, the set of elicitable interior
+        // reduce ops (both operands nonempty spans of updates) is exactly
+        // the set of (first, len) adjacent span pairs. The cubic family
+        // must elicit every op the block admits; count grows as Θ(k³).
+        let k = 5u32;
+        let specs = reduce_coverage_specs(k);
+        let (distinct, _) = count_elicited_reduce_ops(k, &specs);
+        // Ops on k+1 boundary-delimited spans over updates 0..k.
+        // For boundaries 0 ≤ a < b < c ≤ k: operand spans [a,b) and
+        // [b,c) — but span [0,a) merges carry the prefix too; we simply
+        // assert cubic growth and a sane lower bound here, and exactness
+        // is covered by the (a,b,c) test above.
+        let k_us = k as usize;
+        let lower = k_us * (k_us - 1) * (k_us - 2) / 6;
+        assert!(
+            distinct >= lower,
+            "elicited {distinct} ops, expected at least C({k},3) = {lower}"
+        );
+    }
+
+    #[test]
+    fn exhaustive_check_finds_schedule_dependent_race() {
+        use std::sync::Arc as StdArc;
+        // A racy program whose race involves a view-aware strand that
+        // only exists under steals: the reduce of a monoid that touches a
+        // shared cell races with a parallel user write to that cell, but
+        // only when a steal makes a reduce happen at all.
+        struct Touchy {
+            cell: Loc,
+        }
+        impl ViewMonoid for Touchy {
+            fn create_identity(&self, m: &mut ViewMem<'_>) -> Loc {
+                m.alloc(1)
+            }
+            fn reduce(&self, m: &mut ViewMem<'_>, left: Loc, right: Loc) {
+                let r = m.read(right);
+                let l = m.read(left);
+                m.write(left, l + r);
+                m.write(self.cell, 1);
+            }
+            fn update(&self, m: &mut ViewMem<'_>, view: Loc, op: &[Word]) {
+                let v = m.read(view);
+                m.write(view, v + op[0]);
+            }
+        }
+        // Shared cell allocated deterministically: first allocation.
+        let program = move |cx: &mut Ctx<'_>| {
+            let cell = cx.alloc(1);
+            let h = cx.new_reducer(StdArc::new(Touchy { cell }));
+            cx.spawn(move |cx| cx.write(cell, 7));
+            cx.spawn(move |cx| cx.reducer_update(h, &[1]));
+            cx.reducer_update(h, &[2]);
+            cx.sync();
+        };
+        // No steals → no reduce → SP+ alone sees no race on the cell...
+        let mut base = SpPlus::new();
+        SerialEngine::new().run_tool(&mut base, program);
+        let base_locs = base.report().racy_locs();
+        assert!(base_locs.is_empty(), "{base_locs:?}");
+        // ...but the exhaustive sweep elicits the reduce and the race.
+        let rep = exhaustive_check(program, &CoverageOptions::default());
+        assert!(rep.report.has_races());
+        assert!(rep.runs > 1);
+    }
+
+    #[test]
+    fn minimizer_shrinks_figure1_style_spec() {
+        use std::sync::Arc as StdArc;
+        struct Touchy {
+            cell: Loc,
+        }
+        impl ViewMonoid for Touchy {
+            fn create_identity(&self, m: &mut ViewMem<'_>) -> Loc {
+                m.alloc(1)
+            }
+            fn reduce(&self, m: &mut ViewMem<'_>, left: Loc, right: Loc) {
+                let r = m.read(right);
+                let l = m.read(left);
+                m.write(left, l + r);
+                m.write(self.cell, 1);
+            }
+            fn update(&self, m: &mut ViewMem<'_>, view: Loc, op: &[Word]) {
+                let v = m.read(view);
+                m.write(view, v + op[0]);
+            }
+        }
+        let program = move |cx: &mut Ctx<'_>| {
+            let cell = cx.alloc(1);
+            let h = cx.new_reducer(StdArc::new(Touchy { cell }));
+            cx.spawn(move |cx| cx.write(cell, 7));
+            cx.spawn(move |cx| cx.reducer_update(h, &[1]));
+            cx.reducer_update(h, &[2]);
+            cx.sync();
+        };
+        // A bloated spec with redundant actions that still exposes the
+        // reduce race.
+        let fat = StealSpec::EveryBlock(BlockScript::new(vec![
+            BlockOp::Reduce,
+            BlockOp::Steal(1),
+            BlockOp::Steal(2),
+            BlockOp::Reduce,
+        ]));
+        let fat_len = 4;
+        let minimal = minimize_spec(program, &fat);
+        let StealSpec::EveryBlock(script) = &minimal else {
+            panic!("minimizer changed spec kind");
+        };
+        assert!(script.ops().len() < fat_len, "did not shrink: {script:?}");
+        // The minimized spec still reproduces the race.
+        let mut tool = SpPlus::new();
+        SerialEngine::with_spec(minimal.clone()).run_tool(&mut tool, program);
+        assert!(tool.report().has_races());
+    }
+
+    #[test]
+    fn minimizer_is_identity_on_clean_programs() {
+        let spec = StealSpec::EveryBlock(BlockScript::steals(vec![1, 2]));
+        let minimized = minimize_spec(
+            |cx| {
+                let h = cx.new_reducer(Arc::new(SynthAdd));
+                cx.spawn(move |cx| cx.reducer_update(h, &[1]));
+                cx.sync();
+            },
+            &spec,
+        );
+        assert_eq!(minimized, spec);
+    }
+
+    #[test]
+    fn findings_are_reproducible() {
+        let program = |cx: &mut Ctx<'_>| {
+            let a = cx.alloc(1);
+            cx.spawn(move |cx| cx.write(a, 1));
+            cx.write(a, 2); // determinacy race on every schedule
+            cx.sync();
+        };
+        let rep = exhaustive_check(program, &CoverageOptions::default());
+        assert!(!rep.findings.is_empty());
+        for finding in &rep.findings {
+            let again = ExhaustiveReport::reproduce(program, finding);
+            assert_eq!(again.racy_locs(), finding.1.racy_locs());
+        }
+    }
+
+    #[test]
+    fn exhaustive_check_clean_program_stays_clean() {
+        let program = |cx: &mut Ctx<'_>| {
+            let h = cx.new_reducer(Arc::new(SynthAdd));
+            for i in 0..4 {
+                cx.spawn(move |cx| cx.reducer_update(h, &[i]));
+            }
+            cx.sync();
+            let v = cx.reducer_get_view(h);
+            let _ = cx.read(v);
+        };
+        let rep = exhaustive_check(program, &CoverageOptions::default());
+        assert!(!rep.report.has_races(), "{}", rep.report);
+        assert_eq!(rep.k, 4);
+    }
+}

@@ -1,0 +1,186 @@
+//! Race reports.
+
+use rader_cilk::{AccessKind, FrameId, Loc, ReducerId, StrandId};
+
+/// One endpoint of a reported race.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessInfo {
+    /// Function instantiation that performed the access. For accesses made
+    /// by a `Reduce` invocation this is the frame the reduce executed in.
+    pub frame: FrameId,
+    /// Strand (serial-order segment) of the access.
+    pub strand: StrandId,
+    /// Was it a write?
+    pub write: bool,
+    /// View-obliviousness / view-awareness of the access.
+    pub kind: AccessKind,
+}
+
+/// A determinacy race on a memory location.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeterminacyRace {
+    /// The raced-on location.
+    pub loc: Loc,
+    /// The earlier access (from the shadow space).
+    pub prior: AccessInfo,
+    /// The later access (the one executing when the race was found).
+    pub current: AccessInfo,
+}
+
+/// A view-read race on a reducer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ViewReadRace {
+    /// The raced-on reducer.
+    pub reducer: ReducerId,
+    /// Frame of the earlier reducer-read.
+    pub prior_frame: FrameId,
+    /// Strand of the earlier reducer-read.
+    pub prior_strand: StrandId,
+    /// Frame of the later reducer-read.
+    pub frame: FrameId,
+    /// Strand of the later reducer-read.
+    pub strand: StrandId,
+}
+
+/// Aggregated result of a detection run.
+///
+/// The detectors record the *first* race per location/reducer (the
+/// algorithms guarantee at least one race is reported per racy location
+/// if any exists; enumerating every racy pair is not meaningful under
+/// shadow-space compression).
+#[derive(Clone, Debug, Default)]
+pub struct RaceReport {
+    /// Determinacy races, at most one per location, in detection order.
+    pub determinacy: Vec<DeterminacyRace>,
+    /// View-read races, at most one per reducer, in detection order.
+    pub view_read: Vec<ViewReadRace>,
+    /// Labels programs attached to frames (`Ctx::label_frame`), used by
+    /// `Display` to name the frames involved in each race.
+    pub frame_labels: std::collections::BTreeMap<FrameId, &'static str>,
+}
+
+impl RaceReport {
+    /// True if any race of either kind was detected.
+    pub fn has_races(&self) -> bool {
+        !self.determinacy.is_empty() || !self.view_read.is_empty()
+    }
+
+    /// The set of locations with a detected determinacy race.
+    pub fn racy_locs(&self) -> std::collections::BTreeSet<Loc> {
+        self.determinacy.iter().map(|r| r.loc).collect()
+    }
+
+    /// The set of reducers with a detected view-read race.
+    pub fn racy_reducers(&self) -> std::collections::BTreeSet<ReducerId> {
+        self.view_read.iter().map(|r| r.reducer).collect()
+    }
+
+    /// The label for a frame, or a numbered placeholder.
+    pub fn frame_name(&self, f: FrameId) -> String {
+        match self.frame_labels.get(&f) {
+            Some(l) => format!("`{l}` (frame {})", f.0),
+            None => format!("frame {}", f.0),
+        }
+    }
+
+    /// Merge another report into this one (used by the exhaustive driver),
+    /// keeping one race per location/reducer.
+    pub fn merge(&mut self, other: &RaceReport) {
+        self.frame_labels
+            .extend(other.frame_labels.iter().map(|(k, v)| (*k, *v)));
+        let locs = self.racy_locs();
+        for r in &other.determinacy {
+            if !locs.contains(&r.loc) && !self.determinacy.iter().any(|x| x.loc == r.loc) {
+                self.determinacy.push(*r);
+            }
+        }
+        let reds = self.racy_reducers();
+        for r in &other.view_read {
+            if !reds.contains(&r.reducer) && !self.view_read.iter().any(|x| x.reducer == r.reducer)
+            {
+                self.view_read.push(*r);
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.has_races() {
+            return writeln!(f, "no races detected");
+        }
+        for r in &self.view_read {
+            writeln!(
+                f,
+                "VIEW-READ RACE on reducer {:?}: read in {} strand {:?} \
+                 vs read in {} strand {:?} (different peer sets)",
+                r.reducer,
+                self.frame_name(r.prior_frame),
+                r.prior_strand,
+                self.frame_name(r.frame),
+                r.strand
+            )?;
+        }
+        for r in &self.determinacy {
+            writeln!(
+                f,
+                "DETERMINACY RACE on loc {:?}: {} in {} strand {:?} ({:?}) \
+                 vs {} in {} strand {:?} ({:?})",
+                r.loc,
+                if r.prior.write { "write" } else { "read" },
+                self.frame_name(r.prior.frame),
+                r.prior.strand,
+                r.prior.kind,
+                if r.current.write { "write" } else { "read" },
+                self.frame_name(r.current.frame),
+                r.current.strand,
+                r.current.kind,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(loc: u32) -> DeterminacyRace {
+        let a = AccessInfo {
+            frame: FrameId(0),
+            strand: StrandId(0),
+            write: true,
+            kind: AccessKind::Oblivious,
+        };
+        DeterminacyRace {
+            loc: Loc(loc),
+            prior: a,
+            current: a,
+        }
+    }
+
+    #[test]
+    fn merge_dedupes_by_loc() {
+        let mut a = RaceReport::default();
+        a.determinacy.push(det(1));
+        let mut b = RaceReport::default();
+        b.determinacy.push(det(1));
+        b.determinacy.push(det(2));
+        a.merge(&b);
+        assert_eq!(a.determinacy.len(), 2);
+        assert_eq!(
+            a.racy_locs().into_iter().collect::<Vec<_>>(),
+            vec![Loc(1), Loc(2)]
+        );
+    }
+
+    #[test]
+    fn display_mentions_race_kinds() {
+        let mut r = RaceReport::default();
+        assert!(format!("{r}").contains("no races"));
+        r.determinacy.push(det(3));
+        let s = format!("{r}");
+        assert!(s.contains("DETERMINACY RACE"));
+        assert!(r.has_races());
+    }
+}

@@ -1,0 +1,563 @@
+//! The SP+ algorithm (paper, Figure 6).
+//!
+//! SP+ extends SP-bags to detect determinacy races in computations that
+//! use reducers, executing serially under a *steal specification* that
+//! fixes which continuations are stolen and when reduces run. Each frame's
+//! single P bag becomes a **stack of P bags**, each tagged with a view ID:
+//!
+//! * a stolen continuation pushes a fresh P bag with a fresh view ID;
+//! * a reduce pops the top P bag and unions it into the one below
+//!   (the destination's view ID — the dominating view — survives);
+//! * at a sync exactly one P bag remains; it folds into the S bag and is
+//!   replaced by a fresh bag carrying the frame's entry view ID.
+//!
+//! Race checks consult the view IDs: an access by a *view-aware* strand
+//! races with a parallel prior access only if their views are also
+//! parallel (different view IDs). Accesses made *by a `Reduce`
+//! invocation* are special twice over: the reduce runs as its own
+//! invocation whose ID joins the just-merged top P bag (making the reduce
+//! strand logically parallel to the frame's later user strands but
+//! serial, via the view ID, with the strands whose views it folds), and
+//! the shadow spaces may be overwritten by a reduce access whose view ID
+//! matches the previous accessor's.
+
+use rader_cilk::{AccessKind, EnterKind, FrameId, Loc, StrandId, Tool};
+use rader_dsu::{Bag, BagForest, BagKind, Elem, ViewId};
+
+use crate::report::{AccessInfo, DeterminacyRace, RaceReport};
+use crate::shadow::{ShadowEntry, ShadowSpace};
+
+struct Frame {
+    elem: Elem,
+    s: Bag,
+    /// Stack of P bags; the top carries the current view ID.
+    pstack: Vec<Bag>,
+    /// View ID at frame entry (restored at each sync).
+    entry_vid: ViewId,
+}
+
+/// An in-flight `Reduce` invocation: its accesses are recorded under a
+/// fresh element that joins the merged top P bag when the reduce ends.
+struct PendingReduce {
+    elem: Elem,
+    sbag: Bag,
+}
+
+/// SP+ detector state; attach to a serial run (under any [`StealSpec`])
+/// as a [`Tool`].
+///
+/// [`StealSpec`]: rader_cilk::StealSpec
+pub struct SpPlus {
+    forest: BagForest,
+    stack: Vec<Frame>,
+    reader: ShadowSpace,
+    writer: ShadowSpace,
+    pending_reduce: Option<PendingReduce>,
+    report: RaceReport,
+    /// Total access checks performed.
+    pub checks: u64,
+    /// Steals observed (simulated by the engine per the spec).
+    pub steals: u64,
+    /// Reduce merges observed.
+    pub reduces: u64,
+}
+
+impl Default for SpPlus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpPlus {
+    /// Fresh SP+ detector state.
+    pub fn new() -> Self {
+        SpPlus {
+            forest: BagForest::new(),
+            stack: Vec::with_capacity(64),
+            reader: ShadowSpace::new(),
+            writer: ShadowSpace::new(),
+            pending_reduce: None,
+            report: RaceReport::default(),
+            checks: 0,
+            steals: 0,
+            reduces: 0,
+        }
+    }
+
+    /// The report accumulated so far.
+    pub fn report(&self) -> &RaceReport {
+        &self.report
+    }
+
+    /// Consume the detector, returning its report.
+    pub fn into_report(self) -> RaceReport {
+        self.report
+    }
+
+    /// The current view ID: the top P bag's view of the current frame.
+    fn current_vid(&mut self) -> ViewId {
+        let f = self.stack.last().expect("no active frame");
+        let top = *f.pstack.last().expect("empty P stack");
+        self.forest.bag_info(top).vid
+    }
+
+    /// Close the in-flight reduce region, folding its accesses' element
+    /// into the current top P bag (whose view ID they share).
+    fn flush_reduce(&mut self) {
+        if let Some(pr) = self.pending_reduce.take() {
+            let f = self.stack.last().expect("no active frame");
+            let top = *f.pstack.last().expect("empty P stack");
+            self.forest.union_bags(top, pr.sbag);
+        }
+    }
+
+    fn record_race(&mut self, loc: Loc, prior: ShadowEntry, prior_write: bool, current: AccessInfo) {
+        if self.report.determinacy.iter().any(|r| r.loc == loc) {
+            return;
+        }
+        self.report.determinacy.push(DeterminacyRace {
+            loc,
+            prior: AccessInfo {
+                frame: prior.frame,
+                strand: prior.strand,
+                write: prior_write,
+                kind: prior.kind,
+            },
+            current,
+        });
+    }
+
+    fn access(&mut self, frame: FrameId, strand: StrandId, loc: Loc, write: bool, kind: AccessKind) {
+        self.checks += 1;
+        let in_reduce = kind.in_reduce();
+        if !in_reduce {
+            self.flush_reduce();
+        }
+        let vid = self.current_vid();
+        let elem = if in_reduce {
+            self.pending_reduce
+                .as_ref()
+                .expect("reduce access outside a reduce region")
+                .elem
+        } else {
+            self.stack.last().expect("no active frame").elem
+        };
+        let me = ShadowEntry {
+            elem,
+            frame,
+            strand,
+            kind,
+        };
+        let current = AccessInfo {
+            frame,
+            strand,
+            write,
+            kind,
+        };
+        let view_aware = kind.is_view_aware();
+
+        if write {
+            // Check against the last reader.
+            if let Some(prev) = self.reader.get(loc) {
+                let info = self.forest.find_info(prev.elem);
+                let races = if view_aware {
+                    info.kind.is_p() && info.vid != vid
+                } else {
+                    info.kind.is_p()
+                };
+                if races {
+                    self.record_race(loc, prev, false, current);
+                }
+            }
+            // Check against the last writer.
+            if let Some(prev) = self.writer.get(loc) {
+                let info = self.forest.find_info(prev.elem);
+                let races = if view_aware {
+                    info.kind.is_p() && info.vid != vid
+                } else {
+                    info.kind.is_p()
+                };
+                if races {
+                    self.record_race(loc, prev, true, current);
+                }
+            }
+            // Shadow update.
+            let update = match self.writer.get(loc) {
+                None => true,
+                Some(prev) => {
+                    let info = self.forest.find_info(prev.elem);
+                    !info.kind.is_p() || (in_reduce && info.vid == vid)
+                }
+            };
+            if update {
+                self.writer.set(loc, me);
+            }
+        } else {
+            if let Some(prev) = self.writer.get(loc) {
+                let info = self.forest.find_info(prev.elem);
+                let races = if view_aware {
+                    info.kind.is_p() && info.vid != vid
+                } else {
+                    info.kind.is_p()
+                };
+                if races {
+                    self.record_race(loc, prev, true, current);
+                }
+            }
+            let update = match self.reader.get(loc) {
+                None => true,
+                Some(prev) => {
+                    let info = self.forest.find_info(prev.elem);
+                    !info.kind.is_p() || (in_reduce && info.vid == vid)
+                }
+            };
+            if update {
+                self.reader.set(loc, me);
+            }
+        }
+    }
+}
+
+impl Tool for SpPlus {
+    fn frame_enter(&mut self, _frame: FrameId, _kind: EnterKind) {
+        self.flush_reduce();
+        let vid = match self.stack.last() {
+            Some(_) => self.current_vid(),
+            None => ViewId(0),
+        };
+        let elem = self.forest.make_elem();
+        let s = self.forest.make_bag_with(BagKind::S, vid, elem);
+        let p = self.forest.make_bag(BagKind::P, vid);
+        self.stack.push(Frame {
+            elem,
+            s,
+            pstack: vec![p],
+            entry_vid: vid,
+        });
+    }
+
+    fn frame_label(&mut self, frame: FrameId, label: &'static str) {
+        self.report.frame_labels.insert(frame, label);
+    }
+
+    fn frame_leave(&mut self, _frame: FrameId, kind: EnterKind) {
+        self.flush_reduce();
+        let g = self.stack.pop().expect("leave with empty stack");
+        debug_assert_eq!(g.pstack.len(), 1, "child returned with unreduced views");
+        let Some(f) = self.stack.last() else {
+            return;
+        };
+        match kind {
+            EnterKind::Spawn => {
+                // Spawned G returns: Top(F.P) ∪= G.S.
+                let top = *f.pstack.last().expect("empty P stack");
+                self.forest.union_bags(top, g.s);
+            }
+            _ => {
+                // Called G returns: F.S ∪= G.S.
+                self.forest.union_bags(f.s, g.s);
+            }
+        }
+    }
+
+    fn sync(&mut self, _frame: FrameId) {
+        self.flush_reduce();
+        let f = self.stack.last().expect("sync with empty stack");
+        debug_assert_eq!(
+            f.pstack.len(),
+            1,
+            "sync reached with unreduced views (engine must reduce first)"
+        );
+        let (s, top, entry_vid) = (f.s, *f.pstack.last().unwrap(), f.entry_vid);
+        // F.S ∪= Top(F.P); Top(F.P) = fresh bag with the frame's view.
+        self.forest.union_bags(s, top);
+        let fresh = self.forest.make_bag(BagKind::P, entry_vid);
+        let f = self.stack.last_mut().unwrap();
+        f.pstack.clear();
+        f.pstack.push(fresh);
+    }
+
+    fn stolen_continuation(&mut self, _frame: FrameId, vid: ViewId) {
+        self.flush_reduce();
+        self.steals += 1;
+        let p = self.forest.make_bag(BagKind::P, vid);
+        self.stack
+            .last_mut()
+            .expect("steal with empty stack")
+            .pstack
+            .push(p);
+    }
+
+    fn reduce_merge(&mut self, _frame: FrameId, _dst: ViewId, _src: ViewId) {
+        self.flush_reduce();
+        self.reduces += 1;
+        let f = self.stack.last_mut().expect("reduce with empty stack");
+        let popped = f.pstack.pop().expect("reduce with single-bag P stack");
+        let top = *f.pstack.last().expect("reduce emptied the P stack");
+        // Union the newer bag into the older; the dominating view ID
+        // survives (destination-wins union).
+        self.forest.union_bags(top, popped);
+        debug_assert_eq!(self.forest.bag_info(top).vid, _dst);
+        // The reduce runs as its own invocation; its accesses join the
+        // merged P bag when the region closes.
+        let elem = self.forest.make_elem();
+        let vid = self.forest.bag_info(top).vid;
+        let sbag = self.forest.make_bag_with(BagKind::S, vid, elem);
+        self.pending_reduce = Some(PendingReduce { elem, sbag });
+    }
+
+    fn read(&mut self, frame: FrameId, strand: StrandId, loc: Loc, kind: AccessKind) {
+        self.access(frame, strand, loc, false, kind);
+    }
+
+    fn write(&mut self, frame: FrameId, strand: StrandId, loc: Loc, kind: AccessKind) {
+        self.access(frame, strand, loc, true, kind);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rader_cilk::synth::SynthAdd;
+    use rader_cilk::{BlockScript, Ctx, SerialEngine, StealSpec};
+    use std::sync::Arc;
+
+    fn check(spec: StealSpec, prog: impl FnOnce(&mut Ctx<'_>)) -> RaceReport {
+        let mut tool = SpPlus::new();
+        SerialEngine::with_spec(spec).run_tool(&mut tool, prog);
+        tool.into_report()
+    }
+
+    #[test]
+    fn behaves_like_spbags_without_reducers() {
+        let r = check(StealSpec::None, |cx| {
+            let a = cx.alloc(1);
+            cx.spawn(move |cx| cx.write(a, 1));
+            cx.write(a, 2);
+            cx.sync();
+        });
+        assert_eq!(r.determinacy.len(), 1);
+        let r = check(StealSpec::None, |cx| {
+            let a = cx.alloc(1);
+            cx.spawn(move |cx| cx.write(a, 1));
+            cx.sync();
+            cx.write(a, 2);
+        });
+        assert!(!r.has_races());
+    }
+
+    #[test]
+    fn same_view_parallel_updates_do_not_race() {
+        // No steals: both updates hit the same view cell but share its
+        // view ID — the reducer is doing its job, not racing.
+        let r = check(StealSpec::None, |cx| {
+            let h = cx.new_reducer(Arc::new(SynthAdd));
+            cx.spawn(move |cx| cx.reducer_update(h, &[1]));
+            cx.reducer_update(h, &[2]);
+            cx.sync();
+        });
+        assert!(!r.has_races(), "{r}");
+    }
+
+    #[test]
+    fn split_views_do_not_race_under_steals() {
+        let r = check(
+            StealSpec::EveryBlock(BlockScript::steals(vec![1])),
+            |cx| {
+                let h = cx.new_reducer(Arc::new(SynthAdd));
+                cx.spawn(move |cx| cx.reducer_update(h, &[1]));
+                cx.reducer_update(h, &[2]);
+                cx.sync();
+                let v = cx.reducer_get_view(h);
+                let _ = cx.read(v);
+            },
+        );
+        assert!(!r.has_races(), "{r}");
+    }
+
+    #[test]
+    fn premature_view_read_races_with_parallel_update() {
+        // Reading the view's cell while a spawned child updates the same
+        // view: user (oblivious) read vs view-aware write, parallel → race.
+        let r = check(StealSpec::None, |cx| {
+            let h = cx.new_reducer(Arc::new(SynthAdd));
+            cx.spawn(move |cx| cx.reducer_update(h, &[1]));
+            let v = cx.reducer_get_view(h);
+            let _ = cx.read(v);
+            cx.sync();
+        });
+        assert_eq!(r.determinacy.len(), 1);
+    }
+
+    #[test]
+    fn figure1_reduce_write_races_with_parallel_scan() {
+        // The paper's Figure 1, faithfully: `race()` spawns a scanner of
+        // the (shallow-copied) list and calls `update_list` in the
+        // continuation; `update_list` installs the list as the reducer's
+        // view, spawns work, and its sync's Reduce splices onto the
+        // original list's tail `next` pointer — the write that races
+        // with the concurrent scan. The race only exists on schedules
+        // where the scanner's continuation is stolen (the scan and
+        // update_list actually overlap), which `EveryBlock([1])`
+        // provides; SP+ sees the scanner's bag under the outer view and
+        // the Reduce under the stolen view: parallel views → race.
+        use rader_reducers::{ListMonoid, Monoid, MyList, RedHandle};
+        let spec = StealSpec::EveryBlock(BlockScript::steals(vec![1]));
+        let mut tool = SpPlus::new();
+        SerialEngine::with_spec(spec).run_tool(&mut tool, |cx| {
+            let list = MyList::new(cx);
+            list.push_back(cx, 7); // one seed node; its `next` is null
+            let copy = list.shallow_copy(cx); // the Figure-1 bug
+            cx.spawn(move |cx| {
+                let _ = copy.scan(cx); // reads the shared node's `next`
+            });
+            // Continuation stolen here: the scan runs in parallel with
+            // everything below.
+            cx.call(move |cx| {
+                let h: RedHandle<ListMonoid> = ListMonoid::register(cx);
+                h.set_list(cx, &list);
+                cx.spawn(|_| {}); // continuation stolen → fresh view
+                h.push_back(cx, 8); // appends to the *fresh* view
+                cx.sync(); // Reduce splices fresh view onto `list`'s tail
+            });
+            cx.sync();
+        });
+        let r = tool.into_report();
+        assert!(
+            r.determinacy
+                .iter()
+                .any(|race| race.current.kind == AccessKind::Reduce),
+            "expected a race involving a Reduce strand: {r}"
+        );
+    }
+
+    #[test]
+    fn figure1_without_outer_steal_has_no_race() {
+        // Same program, but the scanner's continuation is NOT stolen: on
+        // this schedule the scan completes before update_list begins, so
+        // SP+ (correctly, per its per-schedule guarantee) reports no
+        // race involving the reduce. Coverage over steal specifications
+        // is what catches the bug (Section 7).
+        use rader_reducers::{ListMonoid, Monoid, MyList, RedHandle};
+        // Steal only continuation 2 of each block: the root block's
+        // scan-spawn continuation (index 1) stays unstolen, while
+        // update_list's inner block (whose spawn is its continuation 1)
+        // still splits a view... use a script that skips index 1.
+        let spec = StealSpec::EveryBlock(BlockScript::steals(vec![2]));
+        let mut tool = SpPlus::new();
+        SerialEngine::with_spec(spec).run_tool(&mut tool, |cx| {
+            let list = MyList::new(cx);
+            list.push_back(cx, 7);
+            let copy = list.shallow_copy(cx);
+            cx.spawn(move |cx| {
+                let _ = copy.scan(cx);
+            });
+            cx.call(move |cx| {
+                let h: RedHandle<ListMonoid> = ListMonoid::register(cx);
+                h.set_list(cx, &list);
+                cx.spawn(|_| {});
+                cx.spawn(|_| {}); // continuation 2: stolen → fresh view
+                h.push_back(cx, 8);
+                cx.sync();
+            });
+            cx.sync();
+        });
+        let r = tool.into_report();
+        assert!(!r.has_races(), "{r}");
+    }
+
+    #[test]
+    fn reduce_is_serial_with_strands_of_merged_views() {
+        // The update in the stolen view writes the cells the reduce later
+        // reads/writes — same view chain, no race.
+        let spec = StealSpec::EveryBlock(BlockScript::steals(vec![1]));
+        let r = check(spec, |cx| {
+            let h = cx.new_reducer(Arc::new(SynthAdd));
+            cx.spawn(move |cx| cx.reducer_update(h, &[1]));
+            cx.reducer_update(h, &[2]);
+            cx.sync();
+        });
+        assert!(!r.has_races(), "{r}");
+    }
+
+    #[test]
+    fn reduce_races_with_strand_in_older_parallel_view() {
+        // The paper's Section-6 example: a strand under view α accesses ℓ;
+        // a later reduce of views γ,δ accesses ℓ too. Different P bags →
+        // race. We emulate with three stolen continuations and a reduce
+        // ordered before the third steal, with a shared cell written by an
+        // early child and read by a monoid whose reduce touches that cell.
+        struct TouchingMonoid {
+            cell: rader_cilk::Loc,
+        }
+        impl rader_cilk::ViewMonoid for TouchingMonoid {
+            fn create_identity(&self, m: &mut rader_cilk::ViewMem<'_>) -> rader_cilk::Loc {
+                m.alloc(1)
+            }
+            fn reduce(
+                &self,
+                m: &mut rader_cilk::ViewMem<'_>,
+                left: rader_cilk::Loc,
+                right: rader_cilk::Loc,
+            ) {
+                let r = m.read(right);
+                let l = m.read(left);
+                m.write(left, l + r);
+                m.write(self.cell, 1); // touches shared user memory
+            }
+            fn update(
+                &self,
+                m: &mut rader_cilk::ViewMem<'_>,
+                view: rader_cilk::Loc,
+                op: &[rader_cilk::Word],
+            ) {
+                let v = m.read(view);
+                m.write(view, v + op[0]);
+            }
+        }
+        let spec = StealSpec::EveryBlock(BlockScript::new(vec![
+            rader_cilk::BlockOp::Steal(1),
+            rader_cilk::BlockOp::Steal(2),
+            rader_cilk::BlockOp::Reduce,
+            rader_cilk::BlockOp::Steal(3),
+        ]));
+        let mut tool = SpPlus::new();
+        SerialEngine::with_spec(spec).run_tool(&mut tool, |cx| {
+            let cell = cx.alloc(1);
+            let h = cx.new_reducer(Arc::new(TouchingMonoid { cell }));
+            cx.spawn(move |cx| {
+                cx.write(cell, 42); // strand under the first view
+                cx.reducer_update(h, &[1]);
+            });
+            cx.reducer_update(h, &[2]);
+            cx.spawn(move |cx| cx.reducer_update(h, &[3]));
+            cx.reducer_update(h, &[4]);
+            cx.spawn(move |cx| cx.reducer_update(h, &[5]));
+            cx.reducer_update(h, &[6]);
+            cx.sync();
+        });
+        let r = tool.into_report();
+        assert!(
+            r.determinacy
+                .iter()
+                .any(|race| race.current.kind == AccessKind::Reduce),
+            "expected reduce-vs-older-view race: {r}"
+        );
+    }
+
+    #[test]
+    fn steal_and_reduce_counters_track_engine() {
+        let spec = StealSpec::EveryBlock(BlockScript::steals(vec![1, 2]));
+        let mut tool = SpPlus::new();
+        let stats = SerialEngine::with_spec(spec).run_tool(&mut tool, |cx| {
+            let h = cx.new_reducer(Arc::new(SynthAdd));
+            for i in 0..4 {
+                cx.spawn(move |cx| cx.reducer_update(h, &[i]));
+            }
+            cx.sync();
+        });
+        assert_eq!(tool.steals, stats.steals);
+        assert_eq!(tool.reduces, stats.reduce_merges);
+        assert!(tool.steals > 0);
+    }
+}

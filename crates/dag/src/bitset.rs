@@ -1,0 +1,126 @@
+//! Dense bitset rows for happens-before closures.
+//!
+//! Oracle-scale programs have at most a few thousand strands, so storing
+//! the full predecessor closure of every strand as a bit row (n²/8 bytes
+//! total) is the simplest correct representation — no reachability
+//! queries, just `O(1)` membership tests and word-parallel unions.
+
+/// A growable bitset over `usize` indices.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        BitSet { words: Vec::new() }
+    }
+
+    /// Empty set with room for `n` indices.
+    pub fn with_capacity(n: usize) -> Self {
+        BitSet {
+            words: Vec::with_capacity(n.div_ceil(64)),
+        }
+    }
+
+    /// Insert `i`.
+    pub fn insert(&mut self, i: usize) {
+        let w = i / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1u64 << (i % 64);
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        let w = i / 64;
+        w < self.words.len() && self.words[w] & (1u64 << (i % 64)) != 0
+    }
+
+    /// `self ∪= other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate over set indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter_map(move |b| {
+                if w & (1u64 << b) != 0 {
+                    Some(wi * 64 + b)
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// Set equality ignoring trailing zero words.
+    pub fn same_bits(&self, other: &BitSet) -> bool {
+        let n = self.words.len().max(other.words.len());
+        for i in 0..n {
+            let a = self.words.get(i).copied().unwrap_or(0);
+            let b = other.words.get(i).copied().unwrap_or(0);
+            if a != b {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_iter() {
+        let mut b = BitSet::new();
+        for i in [0, 63, 64, 130] {
+            b.insert(i);
+        }
+        assert!(b.contains(0) && b.contains(63) && b.contains(64) && b.contains(130));
+        assert!(!b.contains(1) && !b.contains(200));
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![0, 63, 64, 130]);
+        assert_eq!(b.count(), 4);
+    }
+
+    #[test]
+    fn union_grows() {
+        let mut a = BitSet::new();
+        a.insert(1);
+        let mut b = BitSet::new();
+        b.insert(100);
+        a.union_with(&b);
+        assert!(a.contains(1) && a.contains(100));
+    }
+
+    #[test]
+    fn same_bits_ignores_capacity() {
+        let mut a = BitSet::new();
+        a.insert(3);
+        let mut b = BitSet::with_capacity(1000);
+        b.insert(999);
+        b.insert(3);
+        assert!(!a.same_bits(&b));
+        let mut c = BitSet::new();
+        c.insert(3);
+        c.insert(500); // force longer word vec, then compare to a clone
+        let mut d = a.clone();
+        d.insert(500);
+        assert!(c.same_bits(&d));
+    }
+}

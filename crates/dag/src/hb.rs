@@ -1,0 +1,502 @@
+//! Happens-before replay: builds the performance-dag ordering and the view
+//! timeline from a recorded trace.
+//!
+//! Every strand gets a dense bitset of its full predecessor closure,
+//! constructed by replaying the event stream with the paper's semantics:
+//!
+//! * spawn continuations do **not** depend on the spawned child; the
+//!   child's final strand joins at the next sync;
+//! * call continuations depend on the callee;
+//! * a stolen continuation starts a fresh strand under a fresh view epoch;
+//! * a reduce strand depends on *everything executed under the two views
+//!   it merges* (and nothing else — in particular it is logically parallel
+//!   to the parent frame's subsequent user strands until the sync);
+//! * the sync strand depends on the frame's strand chain, all pending
+//!   spawned children, and all reduce strands of the block.
+//!
+//! The view timeline records which epoch merged into which, when; two
+//! accesses are *on parallel views* at time `t` iff their epochs chase to
+//! different representatives using only merges that happened before `t`
+//! (the paper's "they now share the same view after the union").
+
+use std::collections::HashMap;
+
+use rader_cilk::{AccessKind, EnterKind, FrameId, Loc, ReducerId, StrandId, ViewId};
+
+use crate::bitset::BitSet;
+use crate::trace::Ev;
+
+/// An access in the replayed computation.
+#[derive(Clone, Copy, Debug)]
+pub struct AccessRec {
+    /// Strand node performing the access.
+    pub node: usize,
+    /// Accessed location.
+    pub loc: Loc,
+    /// Was it a write?
+    pub write: bool,
+    /// View-awareness classification.
+    pub kind: AccessKind,
+    /// View epoch current at the access.
+    pub epoch: ViewId,
+    /// Logical time (event index), for view-timeline queries.
+    pub time: usize,
+    /// Frame that performed the access.
+    pub frame: FrameId,
+}
+
+/// A reducer-read in the replayed computation.
+#[derive(Clone, Copy, Debug)]
+pub struct RedReadRec {
+    /// Strand node performing the reducer-read.
+    pub node: usize,
+    /// The reducer read.
+    pub h: ReducerId,
+    /// Frame performing the read.
+    pub frame: FrameId,
+    /// Engine strand of the read.
+    pub strand: StrandId,
+}
+
+struct FrameRec {
+    cur: usize,
+    pending: Vec<usize>,
+    block_reduces: Vec<usize>,
+}
+
+/// The replayed happens-before graph.
+pub struct HbGraph {
+    preds: Vec<BitSet>,
+    /// All memory accesses, in serial order.
+    pub accesses: Vec<AccessRec>,
+    /// All reducer-reads, in serial order.
+    pub redreads: Vec<RedReadRec>,
+    /// `src → (dst, time)` view merges.
+    merged_into: HashMap<ViewId, (ViewId, usize)>,
+}
+
+impl HbGraph {
+    /// Replay a trace into a happens-before graph.
+    pub fn build(events: &[Ev]) -> HbGraph {
+        Builder::new().run(events)
+    }
+
+    /// Number of strand nodes.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// True if the graph has no strands.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// `a ≺ b`: does strand `a` happen before strand `b`?
+    pub fn precedes(&self, a: usize, b: usize) -> bool {
+        a != b && self.preds[b].contains(a)
+    }
+
+    /// `a ∥ b`: logically parallel (neither precedes the other).
+    pub fn parallel(&self, a: usize, b: usize) -> bool {
+        a != b && !self.preds[b].contains(a) && !self.preds[a].contains(b)
+    }
+
+    /// Representative view of `epoch` at logical time `t` (chasing merges
+    /// that happened strictly before or at `t`).
+    pub fn view_rep(&self, mut epoch: ViewId, t: usize) -> ViewId {
+        while let Some(&(dst, tm)) = self.merged_into.get(&epoch) {
+            if tm <= t {
+                epoch = dst;
+            } else {
+                break;
+            }
+        }
+        epoch
+    }
+
+    /// Are the views of `e1` and `e2` parallel at the time `e2` executes?
+    pub fn views_parallel(&self, e1: &AccessRec, e2: &AccessRec) -> bool {
+        self.view_rep(e1.epoch, e2.time) != self.view_rep(e2.epoch, e2.time)
+    }
+
+    /// The peer set of strand `u` as a bitset over all strands:
+    /// `peers(u) = { v : v ∥ u }`.
+    pub fn peers(&self, u: usize) -> BitSet {
+        let mut out = BitSet::with_capacity(self.len());
+        for v in 0..self.len() {
+            if self.parallel(u, v) {
+                out.insert(v);
+            }
+        }
+        out
+    }
+
+    /// Do strands `u` and `v` have equal peer sets?
+    pub fn peers_equal(&self, u: usize, v: usize) -> bool {
+        self.peers(u).same_bits(&self.peers(v))
+    }
+}
+
+/// A contribution scope: accumulates the predecessor closures of strands
+/// executed "under" it, for computing reduce-strand predecessors.
+///
+/// `Steal` scopes correspond to live view epochs; `Frame` scopes alias
+/// the enclosing epoch but keep per-sync-block bookkeeping separate, so a
+/// reduce folding into a frame's *entry* view only inherits dependencies
+/// from the frame's own block — not from logically parallel strands that
+/// happened to execute under the same global view earlier (e.g. an
+/// unstolen sibling spawned before the frame was called).
+enum Scope {
+    Steal { vid: ViewId, u: BitSet },
+    Frame { u: BitSet },
+}
+
+impl Scope {
+    fn u_mut(&mut self) -> &mut BitSet {
+        match self {
+            Scope::Steal { u, .. } | Scope::Frame { u } => u,
+        }
+    }
+}
+
+struct Builder {
+    preds: Vec<BitSet>,
+    frames: Vec<FrameRec>,
+    scopes: Vec<Scope>,
+    /// Live view epochs (for labeling accesses).
+    cur_epochs: Vec<ViewId>,
+    reduce_node: Option<usize>,
+    accesses: Vec<AccessRec>,
+    redreads: Vec<RedReadRec>,
+    merged_into: HashMap<ViewId, (ViewId, usize)>,
+}
+
+impl Builder {
+    fn new() -> Self {
+        Builder {
+            preds: Vec::new(),
+            frames: Vec::new(),
+            scopes: Vec::new(),
+            cur_epochs: vec![ViewId(0)],
+            reduce_node: None,
+            accesses: Vec::new(),
+            redreads: Vec::new(),
+            merged_into: HashMap::new(),
+        }
+    }
+
+    fn new_node(&mut self, mut preds: BitSet) -> usize {
+        let id = self.preds.len();
+        preds.insert(id);
+        self.preds.push(preds);
+        // Contribute to the innermost scope.
+        let row = self.preds[id].clone();
+        self.scopes
+            .last_mut()
+            .expect("no contribution scope")
+            .u_mut()
+            .union_with(&row);
+        id
+    }
+
+    fn run(mut self, events: &[Ev]) -> HbGraph {
+        for (t, ev) in events.iter().enumerate() {
+            match *ev {
+                Ev::Enter(_, _) => {
+                    let preds = match self.frames.last() {
+                        Some(f) => self.preds[f.cur].clone(),
+                        None => BitSet::new(),
+                    };
+                    self.scopes.push(Scope::Frame { u: BitSet::new() });
+                    let n = self.new_node(preds);
+                    self.frames.push(FrameRec {
+                        cur: n,
+                        pending: Vec::new(),
+                        block_reduces: Vec::new(),
+                    });
+                    self.reduce_node = None;
+                }
+                Ev::Leave(_, kind) => {
+                    let rec = self.frames.pop().expect("leave without frame");
+                    debug_assert!(rec.pending.is_empty(), "leave with unsynced children");
+                    // Fold the frame's block contributions into the
+                    // enclosing scope: they executed under its view.
+                    let frame_scope = self.scopes.pop().expect("scope underflow");
+                    let u = match frame_scope {
+                        Scope::Frame { u } => u,
+                        Scope::Steal { .. } => panic!("frame left with live stolen view"),
+                    };
+                    if let Some(top) = self.scopes.last_mut() {
+                        top.u_mut().union_with(&u);
+                    }
+                    if let Some(parent_cur) = self.frames.last().map(|f| f.cur) {
+                        let mut preds = self.preds[parent_cur].clone();
+                        if kind == EnterKind::Call {
+                            let child = self.preds[rec.cur].clone();
+                            preds.union_with(&child);
+                        }
+                        let c = self.new_node(preds);
+                        let parent = self.frames.last_mut().unwrap();
+                        if kind == EnterKind::Spawn {
+                            parent.pending.push(rec.cur);
+                        }
+                        parent.cur = c;
+                    }
+                    self.reduce_node = None;
+                }
+                Ev::Sync(_) => {
+                    let (cur, pending, reduces) = {
+                        let f = self.frames.last_mut().expect("sync without frame");
+                        (
+                            f.cur,
+                            std::mem::take(&mut f.pending),
+                            std::mem::take(&mut f.block_reduces),
+                        )
+                    };
+                    let mut preds = self.preds[cur].clone();
+                    for p in pending.iter().chain(reduces.iter()) {
+                        let row = self.preds[*p].clone();
+                        preds.union_with(&row);
+                    }
+                    let s = self.new_node(preds);
+                    self.frames.last_mut().unwrap().cur = s;
+                    // A new sync block: the frame's contribution scope
+                    // starts over (seeded with the sync strand, which
+                    // precedes everything in the block).
+                    let row = self.preds[s].clone();
+                    let scope = self.scopes.last_mut().expect("no frame scope");
+                    *scope.u_mut() = row;
+                    self.reduce_node = None;
+                }
+                Ev::Steal(_, vid) => {
+                    let cur = self.frames.last().expect("steal without frame").cur;
+                    let preds = self.preds[cur].clone();
+                    self.cur_epochs.push(vid);
+                    self.scopes.push(Scope::Steal {
+                        vid,
+                        u: BitSet::new(),
+                    });
+                    let c = self.new_node(preds); // contributes to the new epoch
+                    self.frames.last_mut().unwrap().cur = c;
+                    self.reduce_node = None;
+                }
+                Ev::Reduce(_, dst, src) => {
+                    let top = self.scopes.pop().expect("reduce with no scope");
+                    let src_u = match top {
+                        Scope::Steal { vid, u } => {
+                            debug_assert_eq!(vid, src, "engine/replay epoch mismatch");
+                            u
+                        }
+                        Scope::Frame { .. } => panic!("reduce with no stolen view in scope"),
+                    };
+                    let popped = self.cur_epochs.pop();
+                    debug_assert_eq!(popped, Some(src));
+                    debug_assert_eq!(self.cur_epochs.last().copied(), Some(dst));
+                    let mut preds = src_u;
+                    preds.union_with(match self.scopes.last_mut() {
+                        Some(s) => &*s.u_mut(),
+                        None => panic!("reduce with no destination scope"),
+                    });
+                    let r = self.new_node(preds); // contributes to dst's scope
+                    self.merged_into.insert(src, (dst, t));
+                    self.frames
+                        .last_mut()
+                        .expect("reduce without frame")
+                        .block_reduces
+                        .push(r);
+                    self.reduce_node = Some(r);
+                }
+                Ev::Access {
+                    frame,
+                    loc,
+                    write,
+                    kind,
+                    ..
+                } => {
+                    let node = if kind == AccessKind::Reduce {
+                        self.reduce_node
+                            .expect("reduce-tagged access outside a reduce region")
+                    } else {
+                        self.frames.last().expect("access without frame").cur
+                    };
+                    let epoch = *self.cur_epochs.last().unwrap();
+                    self.accesses.push(AccessRec {
+                        node,
+                        loc,
+                        write,
+                        kind,
+                        epoch,
+                        time: t,
+                        frame,
+                    });
+                }
+                Ev::RedRead {
+                    frame, strand, h, ..
+                } => {
+                    let node = self.frames.last().expect("redread without frame").cur;
+                    self.redreads.push(RedReadRec {
+                        node,
+                        h,
+                        frame,
+                        strand,
+                    });
+                }
+            }
+        }
+        HbGraph {
+            preds: self.preds,
+            accesses: self.accesses,
+            redreads: self.redreads,
+            merged_into: self.merged_into,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceRecorder;
+    use rader_cilk::{BlockScript, SerialEngine, StealSpec};
+
+    fn trace_of(
+        spec: StealSpec,
+        prog: impl FnOnce(&mut rader_cilk::Ctx<'_>),
+    ) -> Vec<Ev> {
+        let mut rec = TraceRecorder::new();
+        SerialEngine::with_spec(spec).run_tool(&mut rec, prog);
+        rec.events
+    }
+
+    #[test]
+    fn spawn_is_parallel_with_continuation_serial_after_sync() {
+        let events = trace_of(StealSpec::None, |cx| {
+            let a = cx.alloc(2);
+            cx.spawn(move |cx| cx.write(a, 1)); // access 0 (child)
+            cx.write(a.at(1), 2); // access 1 (continuation)
+            cx.sync();
+            let _ = cx.read(a); // access 2 (after sync)
+        });
+        let hb = HbGraph::build(&events);
+        let n0 = hb.accesses[0].node;
+        let n1 = hb.accesses[1].node;
+        let n2 = hb.accesses[2].node;
+        assert!(hb.parallel(n0, n1));
+        assert!(hb.precedes(n0, n2));
+        assert!(hb.precedes(n1, n2));
+    }
+
+    #[test]
+    fn call_is_serial_with_continuation() {
+        let events = trace_of(StealSpec::None, |cx| {
+            let a = cx.alloc(1);
+            cx.call(move |cx| cx.write(a, 1));
+            let _ = cx.read(a);
+        });
+        let hb = HbGraph::build(&events);
+        assert!(hb.precedes(hb.accesses[0].node, hb.accesses[1].node));
+    }
+
+    #[test]
+    fn spawned_siblings_are_parallel() {
+        let events = trace_of(StealSpec::None, |cx| {
+            let a = cx.alloc(2);
+            cx.spawn(move |cx| cx.write(a, 1));
+            cx.spawn(move |cx| cx.write(a.at(1), 2));
+            cx.sync();
+        });
+        let hb = HbGraph::build(&events);
+        assert!(hb.parallel(hb.accesses[0].node, hb.accesses[1].node));
+    }
+
+    #[test]
+    fn figure2_peer_structure() {
+        // The paper's Figure 2 discussion: strands 5 and 9 share peers
+        // (same sync block, between the same spawns); strands 9 and 10
+        // do not (10 is in the spawned child c... simplified analogue).
+        // Program: root spawns b; continuation u1; sync; spawns c; u2; sync.
+        let events = trace_of(StealSpec::None, |cx| {
+            let a = cx.alloc(8);
+            cx.spawn(move |cx| cx.write(a, 1)); // b
+            cx.write(a.at(1), 1); // u1 continuation strand
+            cx.write(a.at(2), 1); // u1' same strand region
+            cx.sync();
+            cx.spawn(move |cx| cx.write(a.at(3), 1)); // c
+            cx.write(a.at(4), 1); // u2
+            cx.sync();
+        });
+        let hb = HbGraph::build(&events);
+        let u1 = hb.accesses[1].node;
+        let u1b = hb.accesses[2].node;
+        let c = hb.accesses[3].node;
+        let u2 = hb.accesses[4].node;
+        assert!(hb.peers_equal(u1, u1b));
+        assert!(!hb.peers_equal(u1, u2)); // different peers: b vs c
+        assert!(!hb.peers_equal(c, u2));
+    }
+
+    #[test]
+    fn reduce_strand_is_parallel_to_later_user_strands_but_before_sync() {
+        use rader_cilk::synth::SynthAdd;
+        use std::sync::Arc;
+        // Steal continuation 1; the reduce (executed at the sync here...)
+        // Use script [Steal(1), Reduce, Steal(2)] so the reduce of view 1
+        // happens before continuation 2 is stolen, making later user
+        // strands exist after the reduce.
+        let spec = StealSpec::EveryBlock(BlockScript::new(vec![
+            rader_cilk::BlockOp::Steal(1),
+            rader_cilk::BlockOp::Reduce,
+            rader_cilk::BlockOp::Steal(2),
+        ]));
+        let events = trace_of(spec, |cx| {
+            let h = cx.new_reducer(Arc::new(SynthAdd));
+            let a = cx.alloc(4);
+            cx.spawn(move |cx| cx.reducer_update(h, &[1]));
+            cx.reducer_update(h, &[2]); // under view 1
+            cx.spawn(move |cx| cx.reducer_update(h, &[3]));
+            cx.write(a, 9); // user strand under view 2, after the reduce
+            cx.sync();
+            let _ = cx.read(a);
+        });
+        let hb = HbGraph::build(&events);
+        // Find a reduce-tagged access and the user write to `a`.
+        let reduce_access = hb
+            .accesses
+            .iter()
+            .find(|r| r.kind == AccessKind::Reduce)
+            .expect("no reduce access recorded");
+        let user_write = hb
+            .accesses
+            .iter()
+            .find(|r| r.write && r.kind == AccessKind::Oblivious)
+            .expect("no user write");
+        let post_sync_read = hb
+            .accesses
+            .iter()
+            .rev()
+            .find(|r| !r.write && r.kind == AccessKind::Oblivious)
+            .unwrap();
+        // The early reduce is parallel with the later user strand...
+        assert!(hb.parallel(reduce_access.node, user_write.node));
+        // ...but precedes the post-sync strand.
+        assert!(hb.precedes(reduce_access.node, post_sync_read.node));
+    }
+
+    #[test]
+    fn view_timeline_merges() {
+        use rader_cilk::synth::SynthAdd;
+        use std::sync::Arc;
+        let spec = StealSpec::EveryBlock(BlockScript::steals(vec![1]));
+        let events = trace_of(spec, |cx| {
+            let h = cx.new_reducer(Arc::new(SynthAdd));
+            cx.spawn(move |cx| cx.reducer_update(h, &[1]));
+            cx.reducer_update(h, &[2]); // under stolen view
+            cx.sync();
+        });
+        let hb = HbGraph::build(&events);
+        // Before the merge, view 1 is its own rep; after, it chases to 0.
+        let merge_time = hb.merged_into[&ViewId(1)].1;
+        assert_eq!(hb.view_rep(ViewId(1), merge_time - 1), ViewId(1));
+        assert_eq!(hb.view_rep(ViewId(1), merge_time), ViewId(0));
+        assert_eq!(hb.view_rep(ViewId(0), usize::MAX), ViewId(0));
+    }
+}

@@ -1,0 +1,387 @@
+//! Canonical SP parse trees (Feng & Leiserson), for no-steal computations.
+//!
+//! A Cilk computation without reducer steals is a series-parallel dag,
+//! recursively decomposable into series and parallel compositions; the
+//! decomposition is the *SP parse tree* (paper, Section 4 and Figure 4).
+//! Rader's Peer-Set correctness proof rests on the paper's **Lemma 2**:
+//!
+//! > Two strands have the same peer set iff the path connecting them in
+//! > the SP parse tree consists entirely of S nodes.
+//!
+//! This module builds the canonical parse tree from a trace and exposes
+//! [`SpParseTree::peers_equal`] implementing the all-S-path criterion —
+//! a third, independent peer-set decision procedure, cross-checked in
+//! tests against the bitset [`HbGraph`](crate::hb::HbGraph) peers and
+//! against the Peer-Set algorithm itself.
+//!
+//! Leaf identifiers are aligned with [`HbGraph`](crate::hb::HbGraph)
+//! node IDs by construction: both replayers allocate one node per
+//! `Enter` / non-root `Leave` / `Sync` event, in event order.
+
+use rader_dsu::fxhash::FxHashMap;
+
+use rader_cilk::EnterKind;
+
+use crate::trace::Ev;
+
+/// Parse-tree node kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpKind {
+    /// Series composition.
+    S,
+    /// Parallel composition.
+    P,
+    /// A strand.
+    Leaf,
+}
+
+enum Item {
+    Leaf(usize),
+    Sub { root: usize, spawned: bool },
+}
+
+struct FrameBuild {
+    /// Completed sync blocks (already folded to a subtree root), in order.
+    blocks: Vec<usize>,
+    /// Items of the current (open) sync block.
+    items: Vec<Item>,
+}
+
+/// A canonical SP parse tree over the strands of a no-steal computation.
+pub struct SpParseTree {
+    kind: Vec<SpKind>,
+    parent: Vec<Option<usize>>,
+    /// strand (HbGraph node id) → leaf index.
+    leaf_of: FxHashMap<usize, usize>,
+    root: usize,
+}
+
+impl SpParseTree {
+    /// Build the canonical parse tree from a trace.
+    ///
+    /// Panics if the trace contains simulated steals or reduces (those
+    /// computations are not series-parallel; that is the paper's point).
+    pub fn build(events: &[Ev]) -> SpParseTree {
+        let mut b = TreeBuilder {
+            kind: Vec::new(),
+            parent: Vec::new(),
+            leaf_of: FxHashMap::default(),
+            next_strand: 0,
+            frames: Vec::new(),
+        };
+        let mut root = None;
+        for ev in events {
+            match *ev {
+                Ev::Enter(_, _) => {
+                    // Strand id allocated for the frame's first strand.
+                    let leaf = b.new_leaf();
+                    b.frames.push(FrameBuild {
+                        blocks: Vec::new(),
+                        items: vec![Item::Leaf(leaf)],
+                    });
+                }
+                Ev::Leave(_, kind) => {
+                    let rec = b.frames.pop().expect("leave without frame");
+                    let sub = b.fold_frame(rec);
+                    match b.frames.last_mut() {
+                        Some(parent) => {
+                            parent.items.push(Item::Sub {
+                                root: sub,
+                                spawned: kind == EnterKind::Spawn,
+                            });
+                            // Continuation strand in the parent.
+                            let leaf = b.new_leaf();
+                            b.frames.last_mut().unwrap().items.push(Item::Leaf(leaf));
+                        }
+                        None => root = Some(sub),
+                    }
+                }
+                Ev::Sync(_) => {
+                    // Close the block, then start the next one with the
+                    // sync strand as its first item.
+                    let f = b.frames.last_mut().expect("sync without frame");
+                    let items = std::mem::take(&mut f.items);
+                    if let Some(block) = b.fold_block(items) {
+                        b.frames.last_mut().unwrap().blocks.push(block);
+                    }
+                    let leaf = b.new_leaf();
+                    b.frames.last_mut().unwrap().items.push(Item::Leaf(leaf));
+                }
+                Ev::Steal(..) | Ev::Reduce(..) => {
+                    panic!("SP parse trees exist only for no-steal computations")
+                }
+                Ev::Access { .. } | Ev::RedRead { .. } => {}
+            }
+        }
+        SpParseTree {
+            root: root.expect("trace had no root frame"),
+            kind: b.kind,
+            parent: b.parent,
+            leaf_of: b.leaf_of,
+        }
+    }
+
+    /// Number of tree nodes.
+    pub fn len(&self) -> usize {
+        self.kind.len()
+    }
+
+    /// True if the tree is empty (never: a root frame always exists).
+    pub fn is_empty(&self) -> bool {
+        self.kind.is_empty()
+    }
+
+    /// The tree root.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Kind of tree node `n`.
+    pub fn node_kind(&self, n: usize) -> SpKind {
+        self.kind[n]
+    }
+
+    /// Lemma 2: strands `u` and `v` (HbGraph node ids) have equal peer
+    /// sets iff the tree path between their leaves is all S nodes.
+    pub fn peers_equal(&self, u: usize, v: usize) -> bool {
+        if u == v {
+            return true;
+        }
+        let (lu, lv) = (self.leaf_of[&u], self.leaf_of[&v]);
+        // Collect u's ancestor chain.
+        let mut seen = FxHashMap::default();
+        let mut x = lu;
+        let mut depth = 0usize;
+        loop {
+            seen.insert(x, depth);
+            match self.parent[x] {
+                Some(p) => {
+                    x = p;
+                    depth += 1;
+                }
+                None => break,
+            }
+        }
+        // Walk up from v to the LCA.
+        let mut y = lv;
+        let mut p_on_v_side = false;
+        let lca = loop {
+            if seen.contains_key(&y) {
+                break y;
+            }
+            if self.kind[y] == SpKind::P {
+                p_on_v_side = true;
+            }
+            y = self.parent[y].expect("disconnected leaves");
+        };
+        if p_on_v_side || self.kind[lca] == SpKind::P {
+            return false;
+        }
+        // Walk up from u to the LCA checking for P nodes.
+        let mut x = lu;
+        while x != lca {
+            if self.kind[x] == SpKind::P {
+                return false;
+            }
+            x = self.parent[x].expect("disconnected leaves");
+        }
+        true
+    }
+
+    /// `u ∥ v` per the parse tree: the LCA of their leaves is a P node.
+    pub fn parallel(&self, u: usize, v: usize) -> bool {
+        if u == v {
+            return false;
+        }
+        let (lu, lv) = (self.leaf_of[&u], self.leaf_of[&v]);
+        let mut seen = std::collections::HashSet::new();
+        let mut x = lu;
+        loop {
+            seen.insert(x);
+            match self.parent[x] {
+                Some(p) => x = p,
+                None => break,
+            }
+        }
+        let mut y = lv;
+        let lca = loop {
+            if seen.contains(&y) {
+                break y;
+            }
+            y = self.parent[y].expect("disconnected leaves");
+        };
+        self.kind[lca] == SpKind::P
+    }
+}
+
+struct TreeBuilder {
+    kind: Vec<SpKind>,
+    parent: Vec<Option<usize>>,
+    leaf_of: FxHashMap<usize, usize>,
+    next_strand: usize,
+    frames: Vec<FrameBuild>,
+}
+
+impl TreeBuilder {
+    fn new_node(&mut self, kind: SpKind) -> usize {
+        let id = self.kind.len();
+        self.kind.push(kind);
+        self.parent.push(None);
+        id
+    }
+
+    fn new_leaf(&mut self) -> usize {
+        let leaf = self.new_node(SpKind::Leaf);
+        let strand = self.next_strand;
+        self.next_strand += 1;
+        self.leaf_of.insert(strand, leaf);
+        leaf
+    }
+
+    /// Fold one sync block's items into a canonical S/P chain.
+    fn fold_block(&mut self, items: Vec<Item>) -> Option<usize> {
+        let mut acc: Option<usize> = None;
+        for item in items.into_iter().rev() {
+            let (node, spawned) = match item {
+                Item::Leaf(l) => (l, false),
+                Item::Sub { root, spawned } => (root, spawned),
+            };
+            acc = Some(match acc {
+                None => node,
+                Some(rest) => {
+                    let k = if spawned { SpKind::P } else { SpKind::S };
+                    let n = self.new_node(k);
+                    self.parent[node] = Some(n);
+                    self.parent[rest] = Some(n);
+                    n
+                }
+            });
+        }
+        acc
+    }
+
+    /// Fold a frame's blocks along the spine of S nodes.
+    fn fold_frame(&mut self, mut rec: FrameBuild) -> usize {
+        let items = std::mem::take(&mut rec.items);
+        if let Some(block) = self.fold_block(items) {
+            rec.blocks.push(block);
+        }
+        let mut acc: Option<usize> = None;
+        for block in rec.blocks.into_iter().rev() {
+            acc = Some(match acc {
+                None => block,
+                Some(rest) => {
+                    let n = self.new_node(SpKind::S);
+                    self.parent[block] = Some(n);
+                    self.parent[rest] = Some(n);
+                    n
+                }
+            });
+        }
+        acc.expect("frame with no strands")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hb::HbGraph;
+    use crate::trace::TraceRecorder;
+    use rader_cilk::{SerialEngine, StealSpec};
+
+    fn trace_of(prog: impl FnOnce(&mut rader_cilk::Ctx<'_>)) -> Vec<Ev> {
+        let mut rec = TraceRecorder::new();
+        SerialEngine::with_spec(StealSpec::None).run_tool(&mut rec, prog);
+        rec.events
+    }
+
+    fn all_strand_pairs_agree(events: &[Ev]) {
+        let hb = HbGraph::build(events);
+        let tree = SpParseTree::build(events);
+        for u in 0..hb.len() {
+            for v in 0..hb.len() {
+                assert_eq!(
+                    tree.parallel(u, v),
+                    hb.parallel(u, v),
+                    "parallelism mismatch for ({u},{v})"
+                );
+                assert_eq!(
+                    tree.peers_equal(u, v),
+                    hb.peers_equal(u, v),
+                    "peer-set mismatch for ({u},{v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simple_spawn_sync_agrees_with_hb() {
+        all_strand_pairs_agree(&trace_of(|cx| {
+            cx.spawn(|_| {});
+            cx.sync();
+        }));
+    }
+
+    #[test]
+    fn two_blocks_agree_with_hb() {
+        all_strand_pairs_agree(&trace_of(|cx| {
+            cx.spawn(|_| {});
+            cx.spawn(|_| {});
+            cx.sync();
+            cx.spawn(|_| {});
+            cx.sync();
+        }));
+    }
+
+    #[test]
+    fn nested_and_called_frames_agree_with_hb() {
+        all_strand_pairs_agree(&trace_of(|cx| {
+            cx.spawn(|cx| {
+                cx.spawn(|_| {});
+                cx.call(|cx| {
+                    cx.spawn(|_| {});
+                    cx.sync();
+                });
+                cx.sync();
+            });
+            cx.call(|cx| {
+                cx.spawn(|_| {});
+                cx.sync();
+            });
+            cx.sync();
+            cx.spawn(|_| {});
+            cx.sync();
+        }));
+    }
+
+    #[test]
+    fn random_programs_agree_with_hb() {
+        use rader_cilk::synth::{gen_program, run_synth, GenConfig};
+        let cfg = GenConfig {
+            reducers: 0,
+            size: 25,
+            ..GenConfig::default()
+        };
+        for seed in 0..25 {
+            let p = gen_program(seed, &cfg);
+            let mut rec = TraceRecorder::new();
+            SerialEngine::new().run_tool(&mut rec, |cx| {
+                run_synth(cx, &p);
+            });
+            all_strand_pairs_agree(&rec.events);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no-steal")]
+    fn stolen_traces_are_rejected() {
+        use rader_cilk::BlockScript;
+        let mut rec = TraceRecorder::new();
+        SerialEngine::with_spec(StealSpec::EveryBlock(BlockScript::steals(vec![1])))
+            .run_tool(&mut rec, |cx| {
+                cx.spawn(|_| {});
+                cx.sync();
+            });
+        let _ = SpParseTree::build(&rec.events);
+    }
+}

@@ -1,0 +1,147 @@
+//! Trace recording: a [`Tool`] that captures the whole instrumentation
+//! stream for offline analysis by the oracles.
+
+use rader_cilk::{
+    AccessKind, EnterKind, FrameId, Loc, ReducerId, ReducerReadKind, StrandId, Tool, ViewId,
+};
+
+/// One recorded instrumentation event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ev {
+    /// A frame was entered.
+    Enter(FrameId, EnterKind),
+    /// A frame returned.
+    Leave(FrameId, EnterKind),
+    /// A sync (explicit or implicit) executed.
+    Sync(FrameId),
+    /// A continuation was (simulated as) stolen, creating the view.
+    Steal(FrameId, ViewId),
+    /// `Reduce(frame, dst, src)`: the view `src` is merged into `dst`;
+    /// monoid `Reduce` accesses follow, tagged [`AccessKind::Reduce`].
+    Reduce(FrameId, ViewId, ViewId),
+    /// A memory access.
+    Access {
+        /// Accessing frame.
+        frame: FrameId,
+        /// Accessing strand.
+        strand: StrandId,
+        /// Location touched.
+        loc: Loc,
+        /// Was it a write?
+        write: bool,
+        /// View-awareness classification.
+        kind: AccessKind,
+    },
+    /// A reducer-read (create / set / get).
+    RedRead {
+        /// Reading frame.
+        frame: FrameId,
+        /// Reading strand.
+        strand: StrandId,
+        /// The reducer read.
+        h: ReducerId,
+        /// Which reducer-read operation.
+        kind: ReducerReadKind,
+    },
+}
+
+/// Records every event the engine emits.
+#[derive(Default, Clone, Debug)]
+pub struct TraceRecorder {
+    /// The recorded events, in emission order.
+    pub events: Vec<Ev>,
+}
+
+impl TraceRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Tool for TraceRecorder {
+    fn frame_enter(&mut self, frame: FrameId, kind: EnterKind) {
+        self.events.push(Ev::Enter(frame, kind));
+    }
+    fn frame_leave(&mut self, frame: FrameId, kind: EnterKind) {
+        self.events.push(Ev::Leave(frame, kind));
+    }
+    fn sync(&mut self, frame: FrameId) {
+        self.events.push(Ev::Sync(frame));
+    }
+    fn stolen_continuation(&mut self, frame: FrameId, vid: ViewId) {
+        self.events.push(Ev::Steal(frame, vid));
+    }
+    fn reduce_merge(&mut self, frame: FrameId, dst: ViewId, src: ViewId) {
+        self.events.push(Ev::Reduce(frame, dst, src));
+    }
+    fn read(&mut self, frame: FrameId, strand: StrandId, loc: Loc, kind: AccessKind) {
+        self.events.push(Ev::Access {
+            frame,
+            strand,
+            loc,
+            write: false,
+            kind,
+        });
+    }
+    fn write(&mut self, frame: FrameId, strand: StrandId, loc: Loc, kind: AccessKind) {
+        self.events.push(Ev::Access {
+            frame,
+            strand,
+            loc,
+            write: true,
+            kind,
+        });
+    }
+    fn reducer_read(
+        &mut self,
+        frame: FrameId,
+        strand: StrandId,
+        h: ReducerId,
+        kind: ReducerReadKind,
+    ) {
+        self.events.push(Ev::RedRead {
+            frame,
+            strand,
+            h,
+            kind,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rader_cilk::SerialEngine;
+
+    #[test]
+    fn records_balanced_control_events() {
+        let mut rec = TraceRecorder::new();
+        SerialEngine::new().run_tool(&mut rec, |cx| {
+            let c = cx.alloc(1);
+            cx.spawn(move |cx| cx.write(c, 1));
+            cx.sync();
+            let _ = cx.read(c);
+        });
+        let enters = rec
+            .events
+            .iter()
+            .filter(|e| matches!(e, Ev::Enter(..)))
+            .count();
+        let leaves = rec
+            .events
+            .iter()
+            .filter(|e| matches!(e, Ev::Leave(..)))
+            .count();
+        assert_eq!(enters, 2); // root + child
+        assert_eq!(enters, leaves);
+        assert!(matches!(rec.events[0], Ev::Enter(_, EnterKind::Root)));
+        assert!(matches!(rec.events.last(), Some(Ev::Leave(_, EnterKind::Root))));
+        let accesses = rec
+            .events
+            .iter()
+            .filter(|e| matches!(e, Ev::Access { .. }))
+            .count();
+        assert_eq!(accesses, 2);
+    }
+}

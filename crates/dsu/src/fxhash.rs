@@ -1,0 +1,147 @@
+//! A small, fast, non-cryptographic hasher (FxHash-style).
+//!
+//! The detector's shadow spaces key on dense integer IDs (`Loc`, `ReducerId`)
+//! where SipHash's HashDoS protection buys nothing and costs a lot (see the
+//! Rust Performance Book's Hashing chapter). This is the classic
+//! multiply-rotate byte-mix used by rustc, implemented here so the workspace
+//! does not need an extra dependency.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx hash state.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+/// Hash a single `u64` (convenience for seeded derivations, e.g. picking
+/// random steal points per sync block from a seed).
+#[inline]
+pub fn hash_u64(x: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(x);
+    h.finish()
+}
+
+/// Mix two words into one hash (seeded derivations over pairs).
+#[inline]
+pub fn hash_pair(a: u64, b: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(a);
+    h.write_u64(b);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_u64(42), hash_u64(42));
+        assert_eq!(hash_pair(1, 2), hash_pair(1, 2));
+    }
+
+    #[test]
+    fn distinguishes_inputs() {
+        assert_ne!(hash_u64(1), hash_u64(2));
+        assert_ne!(hash_pair(1, 2), hash_pair(2, 1));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, i * i);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m[&i], i * i);
+        }
+    }
+
+    #[test]
+    fn byte_stream_matches_incremental_words() {
+        // write() in 8-byte chunks must agree with write_u64 per chunk.
+        let mut a = FxHasher::default();
+        a.write(&[1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0]);
+        let mut b = FxHasher::default();
+        b.write_u64(1);
+        b.write_u64(2);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn spread_is_reasonable() {
+        // Not a statistical test, just a sanity guard against a catastrophic
+        // regression (e.g. all buckets colliding).
+        let mut buckets = [0u32; 64];
+        for i in 0..4096u64 {
+            buckets[(hash_u64(i) % 64) as usize] += 1;
+        }
+        assert!(buckets.iter().all(|&c| c > 16));
+    }
+}

@@ -1,0 +1,173 @@
+//! Differential testing of the bag forest against a naive model:
+//! explicit `HashSet`s of members with copied tags. Random interleaved
+//! operation sequences (the workload the detectors generate) must
+//! produce identical `FindBag` answers.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use rader_dsu::{Bag, BagForest, BagInfo, BagKind, Elem, ViewId};
+
+/// The naive model: each live bag is a set of element indices plus its
+/// info; unions move members wholesale.
+#[derive(Default)]
+struct Model {
+    /// bag handle index → (member elems, info); merged bags alias via
+    /// `alias` chains.
+    bags: Vec<(HashSet<usize>, BagInfo)>,
+    alias: Vec<usize>,
+    /// element index → bag handle (if inserted).
+    elem_bag: Vec<Option<usize>>,
+}
+
+impl Model {
+    fn resolve(&self, mut b: usize) -> usize {
+        while self.alias[b] != b {
+            b = self.alias[b];
+        }
+        b
+    }
+    fn make_bag(&mut self, info: BagInfo) -> usize {
+        self.bags.push((HashSet::new(), info));
+        self.alias.push(self.bags.len() - 1);
+        self.bags.len() - 1
+    }
+    fn make_elem(&mut self) -> usize {
+        self.elem_bag.push(None);
+        self.elem_bag.len() - 1
+    }
+    fn union_elem(&mut self, b: usize, e: usize) {
+        let b = self.resolve(b);
+        match self.elem_bag[e] {
+            None => {
+                self.bags[b].0.insert(e);
+                self.elem_bag[e] = Some(b);
+            }
+            Some(old) => {
+                // Merge e's whole bag into b (mirrors BagForest).
+                let old = self.resolve(old);
+                if old != b {
+                    self.union_bags(b, old);
+                }
+            }
+        }
+    }
+    fn union_bags(&mut self, dst: usize, src: usize) {
+        let (dst, src) = (self.resolve(dst), self.resolve(src));
+        if dst == src {
+            return;
+        }
+        let members = std::mem::take(&mut self.bags[src].0);
+        for &e in &members {
+            self.elem_bag[e] = Some(dst);
+        }
+        self.bags[dst].0.extend(members);
+        self.alias[src] = dst;
+    }
+    fn find(&self, e: usize) -> Option<BagInfo> {
+        self.elem_bag[e].map(|b| self.bags[self.resolve(b)].1)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    MakeElem,
+    MakeBag(u8, u32),
+    /// (bag, elem) by index modulo the live counts.
+    UnionElem(usize, usize),
+    /// (dst, src) by index modulo the live count.
+    UnionBags(usize, usize),
+    Find(usize),
+}
+
+fn kind_of(k: u8) -> BagKind {
+    match k % 4 {
+        0 => BagKind::S,
+        1 => BagKind::SS,
+        2 => BagKind::SP,
+        _ => BagKind::P,
+    }
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(Op::MakeElem),
+            (any::<u8>(), 0u32..50).prop_map(|(k, v)| Op::MakeBag(k, v)),
+            (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::UnionElem(a, b)),
+            (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::UnionBags(a, b)),
+            any::<usize>().prop_map(Op::Find),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn forest_matches_naive_model(ops in arb_ops()) {
+        let mut forest = BagForest::new();
+        let mut model = Model::default();
+        let mut elems: Vec<Elem> = Vec::new();
+        let mut bags: Vec<Bag> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::MakeElem => {
+                    elems.push(forest.make_elem());
+                    model.make_elem();
+                }
+                Op::MakeBag(k, v) => {
+                    let info = BagInfo { kind: kind_of(k), vid: ViewId(v) };
+                    bags.push(forest.make_bag(info.kind, info.vid));
+                    model.make_bag(info);
+                }
+                Op::UnionElem(b, e) => {
+                    if !bags.is_empty() && !elems.is_empty() {
+                        let (b, e) = (b % bags.len(), e % elems.len());
+                        forest.union_elem(bags[b], elems[e]);
+                        model.union_elem(b, e);
+                    }
+                }
+                Op::UnionBags(d, s) => {
+                    if !bags.is_empty() {
+                        let (d, s) = (d % bags.len(), s % bags.len());
+                        forest.union_bags(bags[d], bags[s]);
+                        model.union_bags(d, s);
+                    }
+                }
+                Op::Find(e) => {
+                    if !elems.is_empty() {
+                        let e = e % elems.len();
+                        if let Some(expect) = model.find(e) {
+                            let got = forest.find_info(elems[e]);
+                            prop_assert_eq!(got, expect, "elem {}", e);
+                        }
+                    }
+                }
+            }
+        }
+        // Final full sweep: every inserted element agrees.
+        for (i, &e) in elems.iter().enumerate() {
+            if let Some(expect) = model.find(i) {
+                prop_assert_eq!(forest.find_info(e), expect, "final elem {}", i);
+            }
+        }
+        // Same-bag relation agrees pairwise.
+        for i in 0..elems.len().min(20) {
+            for j in 0..i {
+                let (mi, mj) = (model.elem_bag[i], model.elem_bag[j]);
+                if let (Some(bi), Some(bj)) = (mi, mj) {
+                    let same_model = model.resolve(bi) == model.resolve(bj);
+                    prop_assert_eq!(
+                        forest.same_bag_elems(elems[i], elems[j]),
+                        same_model,
+                        "pair ({}, {})", i, j
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+#![warn(missing_docs)]
+//! # rader-reducers
+//!
+//! Reducer hyperobjects for the Cilk simulator: a typed layer over
+//! `rader-cilk`'s untyped [`ViewMonoid`] interface, plus the builtin
+//! monoids the paper's benchmarks use:
+//!
+//! | Monoid | View | Used by |
+//! |---|---|---|
+//! | [`OpAdd`], [`OpMul`], [`Min`], [`Max`], [`OpAnd`], [`OpOr`], [`OpXor`] | one scalar cell | `fib` (`reducer_opadd`) |
+//! | [`ListMonoid`] | linked list with head/tail pointers | the paper's Figure 1 |
+//! | [`OstreamMonoid`] | record stream (ordered concatenation) | `dedup`, `ferret` (`reducer_ostream`) |
+//! | [`BagMonoid`] | pennant bag (Leiserson–Schardl) | `pbfs` |
+//! | [`HypervectorMonoid`] | chunked growable vector | `collision` |
+//! | [`ArgMax`] | user-defined struct (best value + witness) | `knapsack` |
+//!
+//! All views live in the simulator's instrumented arena, so the memory
+//! traffic of `Update`/`Create-Identity`/`Reduce` is visible to the race
+//! detectors — which is the whole point: the paper's signature bug
+//! (Figure 1) is a determinacy race on a list node's `next` pointer
+//! performed *by the `Reduce` operation*.
+//!
+//! ## Typed handles
+//!
+//! [`RedHandle<M>`] is a `Copy` typed wrapper around a raw reducer ID;
+//! monoid-specific methods (e.g. `RedHandle::<OpAdd>::add`) are
+//! implemented per monoid and work on both the serial [`Ctx`] and the
+//! parallel [`ParCtx`] through the [`RedCtx`] abstraction.
+//!
+//! ```
+//! use rader_cilk::SerialEngine;
+//! use rader_reducers::{Monoid, OpAdd};
+//!
+//! let mut total = 0;
+//! SerialEngine::new().run(|cx| {
+//!     let sum = OpAdd::register(cx);
+//!     for i in 1..=10 {
+//!         cx.spawn(move |cx| sum.add(cx, i));
+//!     }
+//!     cx.sync();
+//!     total = sum.get(cx);
+//! });
+//! assert_eq!(total, 55);
+//! ```
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use rader_cilk::par::ParCtx;
+use rader_cilk::{Ctx, Loc, ReducerId, ViewMonoid, Word};
+
+pub mod bag;
+pub mod hypervec;
+pub mod list;
+pub mod ostream;
+pub mod scalar;
+pub mod strukt;
+
+pub use bag::BagMonoid;
+pub use hypervec::HypervectorMonoid;
+pub use list::{ListMonoid, MyList};
+pub use ostream::OstreamMonoid;
+pub use scalar::{Max, Min, OpAdd, OpAnd, OpMul, OpOr, OpXor};
+pub use strukt::ArgMax;
+
+/// Pointer encoding for arena-resident linked structures: locations are
+/// stored as `loc + 1`, with `0` meaning null. (Needed because `Loc(0)` is
+/// a valid arena location.)
+#[inline]
+pub fn enc_ptr(loc: Loc) -> Word {
+    loc.0 as Word + 1
+}
+
+/// Decode a pointer word; `0` is null.
+#[inline]
+pub fn dec_ptr(w: Word) -> Option<Loc> {
+    if w == 0 {
+        None
+    } else {
+        Some(Loc((w - 1) as u32))
+    }
+}
+
+/// Execution contexts a typed reducer handle can operate on: the serial
+/// engine's [`Ctx`] (instrumented) and the parallel runtime's [`ParCtx`].
+pub trait RedCtx {
+    /// Register a reducer with the given monoid.
+    fn red_new(&mut self, m: Arc<dyn ViewMonoid>) -> ReducerId;
+    /// Apply one update operation to the current view.
+    fn red_update(&mut self, h: ReducerId, op: &[Word]);
+    /// `get_value`: location of the view visible to the current strand.
+    fn red_get_view(&mut self, h: ReducerId) -> Loc;
+    /// `set_value`: install `loc` as the current view.
+    fn red_set_view(&mut self, h: ReducerId, loc: Loc);
+    /// Read a shared cell (instrumented on the serial engine).
+    fn mem_read(&mut self, loc: Loc) -> Word;
+    /// Write a shared cell (instrumented on the serial engine).
+    fn mem_write(&mut self, loc: Loc, v: Word);
+    /// Allocate `n` zero-initialized shared words.
+    fn mem_alloc(&mut self, n: usize) -> Loc;
+}
+
+impl RedCtx for Ctx<'_> {
+    fn red_new(&mut self, m: Arc<dyn ViewMonoid>) -> ReducerId {
+        self.new_reducer(m)
+    }
+    fn red_update(&mut self, h: ReducerId, op: &[Word]) {
+        self.reducer_update(h, op)
+    }
+    fn red_get_view(&mut self, h: ReducerId) -> Loc {
+        self.reducer_get_view(h)
+    }
+    fn red_set_view(&mut self, h: ReducerId, loc: Loc) {
+        self.reducer_set_view(h, loc)
+    }
+    fn mem_read(&mut self, loc: Loc) -> Word {
+        self.read(loc)
+    }
+    fn mem_write(&mut self, loc: Loc, v: Word) {
+        self.write(loc, v)
+    }
+    fn mem_alloc(&mut self, n: usize) -> Loc {
+        self.alloc(n)
+    }
+}
+
+impl RedCtx for ParCtx<'_> {
+    fn red_new(&mut self, m: Arc<dyn ViewMonoid>) -> ReducerId {
+        self.new_reducer(m)
+    }
+    fn red_update(&mut self, h: ReducerId, op: &[Word]) {
+        self.reducer_update(h, op)
+    }
+    fn red_get_view(&mut self, h: ReducerId) -> Loc {
+        self.reducer_get_view(h)
+    }
+    fn red_set_view(&mut self, h: ReducerId, loc: Loc) {
+        self.reducer_set_view(h, loc)
+    }
+    fn mem_read(&mut self, loc: Loc) -> Word {
+        self.read(loc)
+    }
+    fn mem_write(&mut self, loc: Loc, v: Word) {
+        self.write(loc, v)
+    }
+    fn mem_alloc(&mut self, n: usize) -> Loc {
+        self.alloc(n)
+    }
+}
+
+/// A typed, `Copy` handle to a registered reducer.
+///
+/// Monoid-specific operations are provided by per-monoid `impl` blocks
+/// (e.g. `RedHandle<OpAdd>::add`, `RedHandle<ListMonoid>::push_back`).
+pub struct RedHandle<M> {
+    id: ReducerId,
+    _m: PhantomData<fn() -> M>,
+}
+
+impl<M> Clone for RedHandle<M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<M> Copy for RedHandle<M> {}
+
+impl<M> RedHandle<M> {
+    /// Wrap a raw reducer ID.
+    pub fn from_raw(id: ReducerId) -> Self {
+        RedHandle {
+            id,
+            _m: PhantomData,
+        }
+    }
+
+    /// The raw reducer ID.
+    pub fn raw(&self) -> ReducerId {
+        self.id
+    }
+
+    /// Raw `get_value`: location of the view visible to the current strand
+    /// (a reducer-read).
+    pub fn view(&self, cx: &mut impl RedCtx) -> Loc {
+        cx.red_get_view(self.id)
+    }
+
+    /// Raw `set_value`: install `loc` as the current view (a reducer-read).
+    pub fn set_view(&self, cx: &mut impl RedCtx, loc: Loc) {
+        cx.red_set_view(self.id, loc)
+    }
+}
+
+/// Registration sugar: every [`ViewMonoid`] gets `register` /
+/// `register_with` constructors producing typed handles.
+pub trait Monoid: ViewMonoid + Sized + 'static {
+    /// Register a default-constructed instance of this monoid.
+    fn register(cx: &mut impl RedCtx) -> RedHandle<Self>
+    where
+        Self: Default,
+    {
+        Self::default().register_with(cx)
+    }
+
+    /// Register this monoid instance (for monoids carrying parameters).
+    fn register_with(self, cx: &mut impl RedCtx) -> RedHandle<Self> {
+        RedHandle::from_raw(cx.red_new(Arc::new(self)))
+    }
+}
+
+impl<T: ViewMonoid + Sized + 'static> Monoid for T {}

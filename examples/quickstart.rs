@@ -1,0 +1,79 @@
+//! Quickstart: write a Cilk-style program, run it, and check it for both
+//! kinds of reducer races.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rader::prelude::*;
+use rader_cilk::BlockScript;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. A correct program: parallel sum through an opadd reducer.
+    // ------------------------------------------------------------------
+    let mut total = 0;
+    let stats = SerialEngine::new().run(|cx| {
+        let sum = OpAdd::register(cx);
+        for i in 1..=100 {
+            cx.spawn(move |cx| sum.add(cx, i));
+        }
+        cx.sync();
+        total = sum.get(cx);
+    });
+    println!("sum 1..=100 = {total}");
+    println!(
+        "  ({} frames, {} strands, {} updates)",
+        stats.frames, stats.strands, stats.updates
+    );
+    assert_eq!(total, 5050);
+
+    let rader = Rader::new();
+
+    // Peer-Set: no view-read races — every read happens after the sync.
+    let report = rader.check_view_read(correct_program);
+    println!("\nPeer-Set on the correct program: {report}");
+    assert!(!report.has_races());
+
+    // SP+ under a steal specification: no determinacy races either.
+    let spec = StealSpec::EveryBlock(BlockScript::steals(vec![1, 2]));
+    let report = rader.check_determinacy(spec, correct_program);
+    println!("SP+ on the correct program: {report}");
+    assert!(!report.has_races());
+
+    // ------------------------------------------------------------------
+    // 2. A buggy program: reads the reducer while a spawn is outstanding.
+    // ------------------------------------------------------------------
+    let report = rader.check_view_read(|cx| {
+        let sum = OpAdd::register(cx);
+        cx.spawn(move |cx| sum.add(cx, 10));
+        let premature = sum.get(cx); // schedule-dependent value!
+        cx.sync();
+        let _ = premature;
+    });
+    println!("Peer-Set on the premature-read program:\n{report}");
+    assert_eq!(report.view_read.len(), 1);
+
+    // ------------------------------------------------------------------
+    // 3. A determinacy race: two logically parallel writes.
+    // ------------------------------------------------------------------
+    let report = rader.check_determinacy(StealSpec::None, |cx| {
+        let cell = cx.alloc(1);
+        cx.spawn(move |cx| cx.write(cell, 1));
+        cx.write(cell, 2); // races with the spawned write
+        cx.sync();
+    });
+    println!("SP+ on the parallel-writes program:\n{report}");
+    assert_eq!(report.determinacy.len(), 1);
+
+    println!("quickstart OK");
+}
+
+fn correct_program(cx: &mut Ctx<'_>) {
+    let sum = OpAdd::register(cx);
+    for i in 1..=20 {
+        cx.spawn(move |cx| sum.add(cx, i));
+    }
+    cx.sync();
+    assert_eq!(sum.get(cx), 210);
+}

@@ -1,0 +1,193 @@
+//! `rader` — command-line interface to the race detector.
+//!
+//! ```text
+//! rader fig1                     detect the paper's Figure-1 races
+//! rader suite [--paper]          run the 6 benchmarks under all detectors
+//! rader synth --seed N [--aliasing] [--dot]
+//!                                generate & exhaustively check a random program
+//! rader exhaustive               Section-7 sweep on Figure 1 with reproducer specs
+//! rader dot [--steals]           print the Figure-2 example dag as Graphviz
+//! ```
+
+use rader::core::{coverage, CoverageOptions, PeerSet, Rader, SpPlus};
+use rader::workloads::{self, fig1, Scale};
+use rader_cilk::synth::{gen_program, run_synth, GenConfig};
+use rader_cilk::{BlockScript, SerialEngine, StealSpec};
+use rader_dag::{HbGraph, TraceRecorder};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "fig1" => cmd_fig1(),
+        "suite" => cmd_suite(&args),
+        "synth" => cmd_synth(&args),
+        "exhaustive" => cmd_exhaustive(),
+        "dot" => cmd_dot(&args),
+        _ => {
+            eprintln!(
+                "usage: rader <fig1 | suite [--paper] | synth --seed N \
+                 [--aliasing] [--dot] | exhaustive | dot [--steals]>"
+            );
+            std::process::exit(if cmd == "help" { 0 } else { 2 });
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn opt_u64(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn cmd_fig1() {
+    let rader = Rader::new();
+    println!("## Peer-Set on update_list with a premature get_value");
+    let r = rader.check_view_read(|cx| fig1::update_list_premature_get(cx, 8));
+    print!("{r}");
+    println!("\n## SP+ on the shallow-copy race() (stealing continuation 1)");
+    let spec = StealSpec::EveryBlock(BlockScript::steals(vec![1]));
+    let r = rader.check_determinacy(spec.clone(), |cx| {
+        fig1::race_program(cx, 16);
+    });
+    print!("{r}");
+    println!("\n## SP+ on the deep-copy fix (same schedule)");
+    let r = rader.check_determinacy(spec, |cx| {
+        fig1::race_program_fixed(cx, 16);
+    });
+    print!("{r}");
+}
+
+fn cmd_suite(args: &[String]) {
+    let scale = if flag(args, "--paper") {
+        Scale::Paper
+    } else {
+        Scale::Small
+    };
+    println!(
+        "{:<10} {:>10} {:>10} {:>9} {:>8} {:>8}  verdict",
+        "benchmark", "frames", "accesses", "peer-set", "sp+", "steals"
+    );
+    for w in workloads::suite(scale) {
+        let stats = SerialEngine::new().run(|cx| (w.run)(cx));
+        let mut ps = PeerSet::new();
+        SerialEngine::new().run_tool(&mut ps, |cx| (w.run)(cx));
+        let spec = StealSpec::Random {
+            seed: 1,
+            max_block: stats.max_sync_block.max(1),
+            steals_per_block: 3,
+        };
+        let mut sp = SpPlus::new();
+        SerialEngine::with_spec(spec).run_tool(&mut sp, |cx| (w.run)(cx));
+        let clean = !ps.report().has_races() && !sp.report().has_races();
+        println!(
+            "{:<10} {:>10} {:>10} {:>9} {:>8} {:>8}  {}",
+            w.name,
+            stats.frames,
+            stats.reads + stats.writes,
+            ps.checks,
+            sp.checks,
+            sp.steals,
+            if clean { "clean" } else { "RACES" }
+        );
+    }
+}
+
+fn cmd_synth(args: &[String]) {
+    let seed = opt_u64(args, "--seed").unwrap_or(0);
+    let cfg = GenConfig {
+        view_aliasing: flag(args, "--aliasing"),
+        ..GenConfig::default()
+    };
+    let prog = gen_program(seed, &cfg);
+    println!("program (seed {seed}): {:?}\n", prog.body);
+    let sweep = coverage::exhaustive_check(
+        |cx| {
+            run_synth(cx, &prog);
+        },
+        &CoverageOptions::default(),
+    );
+    println!(
+        "exhaustive check: {} SP+ runs (K = {}, M = {})",
+        sweep.runs, sweep.k, sweep.m
+    );
+    print!("{}", sweep.report);
+    let vr = Rader::new().check_view_read(|cx| {
+        run_synth(cx, &prog);
+    });
+    if vr.has_races() {
+        print!("{vr}");
+    }
+    if flag(args, "--dot") {
+        let mut rec = TraceRecorder::new();
+        SerialEngine::new().run_tool(&mut rec, |cx| {
+            run_synth(cx, &prog);
+        });
+        let hb = HbGraph::build(&rec.events);
+        println!("\n{}", hb.to_dot(&format!("synth-{seed}")));
+    }
+}
+
+fn cmd_exhaustive() {
+    let sweep = coverage::exhaustive_check(
+        |cx| {
+            fig1::race_program(cx, 12);
+        },
+        &CoverageOptions::default(),
+    );
+    println!(
+        "{} SP+ runs (K = {}, M = {}); {} specification(s) exposed races:\n",
+        sweep.runs,
+        sweep.k,
+        sweep.m,
+        sweep.findings.len()
+    );
+    for (i, (spec, report)) in sweep.findings.iter().enumerate() {
+        let minimal = coverage::minimize_spec(
+            |cx| {
+                fig1::race_program(cx, 12);
+            },
+            spec,
+        );
+        println!("--- finding {i}: reproduce with {spec:?}");
+        if &minimal != spec {
+            println!("    minimized reproducer: {minimal:?}");
+        }
+        print!("{report}");
+    }
+}
+
+fn cmd_dot(args: &[String]) {
+    use rader_cilk::synth::SynthAdd;
+    use std::sync::Arc;
+    let spec = if flag(args, "--steals") {
+        StealSpec::EveryBlock(BlockScript::steals(vec![1, 2, 3]))
+    } else {
+        StealSpec::None
+    };
+    let mut rec = TraceRecorder::new();
+    SerialEngine::with_spec(spec).run_tool(&mut rec, |cx| {
+        // The Figure-2 shape with a reducer, so --steals shows the
+        // Figure-5 reduce tree.
+        let h = cx.new_reducer(Arc::new(SynthAdd));
+        cx.spawn(move |cx| cx.reducer_update(h, &[1]));
+        cx.reducer_update(h, &[2]);
+        cx.spawn(move |cx| {
+            cx.spawn(move |cx| cx.reducer_update(h, &[4]));
+            cx.reducer_update(h, &[8]);
+            cx.sync();
+        });
+        cx.reducer_update(h, &[16]);
+        cx.spawn(move |cx| cx.reducer_update(h, &[32]));
+        cx.reducer_update(h, &[64]);
+        cx.sync();
+        let _ = cx.reducer_get_view(h);
+    });
+    let hb = HbGraph::build(&rec.events);
+    println!("{}", hb.to_dot("figure2"));
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Everything runs with --offline: the
+# workspace has no registry dependencies (see DESIGN.md, "Dependency
+# policy / hermetic build"), so a warm toolchain is all it needs.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release, offline) =="
+cargo build --release --offline --workspace
+
+echo "== tests (offline) =="
+cargo test -q --offline --workspace
+
+echo "== bench targets compile (offline) =="
+cargo check -q --offline --workspace --benches
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "== rustfmt =="
+    cargo fmt --all --check
+else
+    echo "== rustfmt unavailable; skipping format check =="
+fi
+
+echo "CI OK"

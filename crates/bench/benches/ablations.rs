@@ -10,11 +10,18 @@
 //! * **Grain size** — `cilk_for` lowering grain vs. detection cost: the
 //!   frame count (and hence bag traffic) scales inversely with grain.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use rader_bench::timing::Harness;
 use rader_cilk::{AccessKind, Ctx, EnterKind, FrameId, Loc, SerialEngine, StrandId, Tool};
 use rader_core::SpBags;
 use rader_dsu::{Bag, BagForest, BagKind, Elem, ViewId};
+
+fn main() {
+    let mut h = Harness::from_args("ablations");
+    bench_shadow_reader_ablation(&mut h);
+    bench_grain_size(&mut h);
+    bench_sp_maintenance(&mut h);
+    h.finish();
+}
 
 /// The naive SP-bags variant: keeps EVERY reader whose bag is currently
 /// parallel, checking writes against all of them.
@@ -118,86 +125,62 @@ fn read_heavy(cx: &mut Ctx<'_>, rounds: usize, readers: usize) {
     }
 }
 
-fn bench_shadow_reader_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("shadow_reader_ablation");
-    group.sample_size(10);
-    group.bench_function("single_reader (paper)", |b| {
-        b.iter(|| {
-            let mut t = SpBags::new();
-            SerialEngine::new().run_tool(&mut t, |cx| read_heavy(cx, 16, 8));
-            assert!(!t.report().has_races());
-        });
+fn bench_shadow_reader_ablation(h: &mut Harness) {
+    let mut g = h.group("shadow_reader_ablation");
+    g.bench("single_reader (paper)", || {
+        let mut t = SpBags::new();
+        SerialEngine::new().run_tool(&mut t, |cx| read_heavy(cx, 16, 8));
+        assert!(!t.report().has_races());
     });
-    group.bench_function("all_readers (naive)", |b| {
-        b.iter(|| {
-            let mut t = AllReadersSpBags::new();
-            SerialEngine::new().run_tool(&mut t, |cx| read_heavy(cx, 16, 8));
-            assert_eq!(t.races, 0);
-        });
+    g.bench("all_readers (naive)", || {
+        let mut t = AllReadersSpBags::new();
+        SerialEngine::new().run_tool(&mut t, |cx| read_heavy(cx, 16, 8));
+        assert_eq!(t.races, 0);
     });
-    group.finish();
 }
 
-fn bench_grain_size(c: &mut Criterion) {
-    let mut group = c.benchmark_group("par_for_grain_vs_spplus");
-    group.sample_size(10);
+fn bench_grain_size(h: &mut Harness) {
+    let mut g = h.group("par_for_grain_vs_spplus");
     for grain in [1u64, 8, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(grain), &grain, |b, &grain| {
-            b.iter(|| {
-                let mut t = rader_core::SpPlus::new();
-                SerialEngine::with_spec(rader_cilk::StealSpec::AtSpawnCount(2)).run_tool(
-                    &mut t,
-                    |cx| {
-                        let arr = cx.alloc(4096);
-                        cx.par_for(0..4096, grain, &mut |cx, i| {
-                            let v = cx.read_idx(arr, i as usize);
-                            cx.write_idx(arr, i as usize, v + 1);
-                        });
-                    },
-                );
-                assert!(!t.report().has_races());
-            });
+        g.bench(grain.to_string(), || {
+            let mut t = rader_core::SpPlus::new();
+            SerialEngine::with_spec(rader_cilk::StealSpec::AtSpawnCount(2)).run_tool(
+                &mut t,
+                |cx| {
+                    let arr = cx.alloc(4096);
+                    cx.par_for(0..4096, grain, &mut |cx, i| {
+                        let v = cx.read_idx(arr, i as usize);
+                        cx.write_idx(arr, i as usize, v + 1);
+                    });
+                },
+            );
+            assert!(!t.report().has_races());
         });
     }
-    group.finish();
 }
 
 /// Series-parallel maintenance back-ends: the paper's bags (union-find)
 /// vs. our SP-order implementation (order-maintenance labels, O(1)
 /// queries, no union-find) on the same no-steal workloads.
-fn bench_sp_maintenance(c: &mut Criterion) {
+fn bench_sp_maintenance(h: &mut Harness) {
     use rader_core::SpOrder;
     use rader_workloads::fib;
-    let mut group = c.benchmark_group("sp_maintenance");
-    group.sample_size(10);
+    let mut g = h.group("sp_maintenance");
     // Both are view-blind: they "detect" the reducer's same-view update
     // traffic as races (the false positives SP+ exists to remove), which
     // is fine for a cost comparison — assert they at least agree.
-    group.bench_function("spbags_fib16", |b| {
-        b.iter(|| {
-            let mut t = SpBags::new();
-            SerialEngine::new().run_tool(&mut t, |cx| {
-                fib::fib_program(cx, 16);
-            });
-            t.report().racy_locs().len()
+    g.bench("spbags_fib16", || {
+        let mut t = SpBags::new();
+        SerialEngine::new().run_tool(&mut t, |cx| {
+            fib::fib_program(cx, 16);
         });
+        t.report().racy_locs().len()
     });
-    group.bench_function("sporder_fib16", |b| {
-        b.iter(|| {
-            let mut t = SpOrder::new();
-            SerialEngine::new().run_tool(&mut t, |cx| {
-                fib::fib_program(cx, 16);
-            });
-            t.report().racy_locs().len()
+    g.bench("sporder_fib16", || {
+        let mut t = SpOrder::new();
+        SerialEngine::new().run_tool(&mut t, |cx| {
+            fib::fib_program(cx, 16);
         });
+        t.report().racy_locs().len()
     });
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_shadow_reader_ablation,
-    bench_grain_size,
-    bench_sp_maintenance
-);
-criterion_main!(benches);

@@ -1,17 +1,16 @@
-//! Criterion benches: one group per paper benchmark, one function per
-//! detector configuration (the cells of Figures 7 and 8 under a
-//! statistics-grade harness, at test scale).
+//! Detector benches: one group per paper benchmark, one measurement per
+//! detector configuration (the cells of Figures 7 and 8 under the
+//! in-tree median-of-N harness, at test scale).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use rader_bench::timing::Harness;
 use rader_bench::{measure_k, run_once, Config};
 use rader_workloads::{suite, Scale};
 
-fn bench_detectors(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args("detectors");
     for w in suite(Scale::Small) {
         let k = measure_k(&w);
-        let mut group = c.benchmark_group(w.name);
-        group.sample_size(10);
+        let mut g = h.group(w.name);
         for config in [
             Config::Baseline,
             Config::Empty,
@@ -20,13 +19,8 @@ fn bench_detectors(c: &mut Criterion) {
             Config::SpPlusUpdates,
             Config::SpPlusReductions,
         ] {
-            group.bench_function(config.header(), |b| {
-                b.iter(|| run_once(&w, config, k));
-            });
+            g.bench(config.header(), || run_once(&w, config, k));
         }
-        group.finish();
     }
+    h.finish();
 }
-
-criterion_group!(benches, bench_detectors);
-criterion_main!(benches);

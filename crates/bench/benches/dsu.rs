@@ -1,71 +1,62 @@
 //! Microbenches for the disjoint-set substrate: the near-constant
 //! per-check cost (`α` factor) behind Theorems 1 and 5.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-
+use rader_bench::timing::{black_box, Harness};
 use rader_dsu::{BagForest, BagKind, ViewId};
 
-fn bench_make_union_find(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dsu");
+fn main() {
+    let mut h = Harness::from_args("dsu");
+    let mut g = h.group("dsu");
 
-    group.bench_function("make_bag_with_elem", |b| {
-        b.iter(|| {
-            let mut f = BagForest::with_capacity(2048);
-            for _ in 0..1024 {
+    g.bench("make_bag_with_elem", || {
+        let mut f = BagForest::with_capacity(2048);
+        for _ in 0..1024 {
+            let e = f.make_elem();
+            black_box(f.make_bag_with(BagKind::S, ViewId(0), e));
+        }
+        f.len()
+    });
+
+    g.bench("union_chain_then_find_all", || {
+        let mut f = BagForest::with_capacity(4096);
+        let root = f.make_bag(BagKind::P, ViewId(0));
+        let elems: Vec<_> = (0..1024)
+            .map(|_| {
                 let e = f.make_elem();
-                black_box(f.make_bag_with(BagKind::S, ViewId(0), e));
-            }
-            f.len()
-        });
+                let bag = f.make_bag_with(BagKind::S, ViewId(0), e);
+                f.union_bags(root, bag);
+                e
+            })
+            .collect();
+        let mut acc = 0u32;
+        for &e in &elems {
+            acc ^= f.find_info(e).vid.0;
+        }
+        black_box(acc)
     });
 
-    group.bench_function("union_chain_then_find_all", |b| {
-        b.iter(|| {
-            let mut f = BagForest::with_capacity(4096);
-            let root = f.make_bag(BagKind::P, ViewId(0));
-            let elems: Vec<_> = (0..1024)
-                .map(|_| {
-                    let e = f.make_elem();
-                    let bag = f.make_bag_with(BagKind::S, ViewId(0), e);
-                    f.union_bags(root, bag);
-                    e
-                })
-                .collect();
-            let mut acc = 0u32;
-            for &e in &elems {
-                acc ^= f.find_info(e).vid.0;
-            }
-            black_box(acc)
-        });
-    });
-
-    group.bench_function("interleaved_sp_bags_pattern", |b| {
+    g.bench("interleaved_sp_bags_pattern", || {
         // The access pattern the detectors generate: frame creation,
         // child returns folding S bags into P bags, periodic finds.
-        b.iter(|| {
-            let mut f = BagForest::with_capacity(8192);
-            let mut stack = Vec::new();
-            let mut hits = 0usize;
-            for i in 0..512 {
-                let e = f.make_elem();
-                let s = f.make_bag_with(BagKind::S, ViewId(0), e);
-                let p = f.make_bag(BagKind::P, ViewId(0));
-                stack.push((e, s, p));
-                if i % 3 == 2 {
-                    let (child_e, child_s, _) = stack.pop().unwrap();
-                    let &(_, _, parent_p) = stack.last().unwrap();
-                    f.union_bags(parent_p, child_s);
-                    if f.find_info(child_e).kind.is_p() {
-                        hits += 1;
-                    }
+        let mut f = BagForest::with_capacity(8192);
+        let mut stack = Vec::new();
+        let mut hits = 0usize;
+        for i in 0..512 {
+            let e = f.make_elem();
+            let s = f.make_bag_with(BagKind::S, ViewId(0), e);
+            let p = f.make_bag(BagKind::P, ViewId(0));
+            stack.push((e, s, p));
+            if i % 3 == 2 {
+                let (child_e, child_s, _) = stack.pop().unwrap();
+                let &(_, _, parent_p) = stack.last().unwrap();
+                f.union_bags(parent_p, child_s);
+                if f.find_info(child_e).kind.is_p() {
+                    hits += 1;
                 }
             }
-            black_box(hits)
-        });
+        }
+        black_box(hits)
     });
 
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_make_union_find);
-criterion_main!(benches);

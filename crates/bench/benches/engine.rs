@@ -8,74 +8,61 @@
 //!   detection);
 //! * the parallel runtime at several worker counts.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use rader_bench::timing::Harness;
 use rader_cilk::par::ParRuntime;
 use rader_cilk::{BlockScript, EmptyTool, SerialEngine, StealSpec};
 use rader_workloads::fib;
 
-fn bench_instrumentation_layers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine_layers");
-    group.sample_size(10);
-    let n = 16u32;
-
-    group.bench_function("uninstrumented", |b| {
-        b.iter(|| {
-            SerialEngine::new().run(|cx| {
-                fib::fib_program(cx, n);
-            })
-        });
-    });
-
-    group.bench_function("empty_tool", |b| {
-        b.iter(|| {
-            let mut t = EmptyTool;
-            SerialEngine::new().run_tool(&mut t, |cx| {
-                fib::fib_program(cx, n);
-            })
-        });
-    });
-
-    group.bench_function("views_no_tool", |b| {
-        let spec = StealSpec::EveryBlock(BlockScript::steals(vec![1]));
-        b.iter(|| {
-            SerialEngine::with_spec(spec.clone()).run(|cx| {
-                fib::fib_program(cx, n);
-            })
-        });
-    });
-
-    group.bench_function("views_empty_tool", |b| {
-        let spec = StealSpec::EveryBlock(BlockScript::steals(vec![1]));
-        b.iter(|| {
-            let mut t = EmptyTool;
-            SerialEngine::with_spec(spec.clone()).run_tool(&mut t, |cx| {
-                fib::fib_program(cx, n);
-            })
-        });
-    });
-
-    group.finish();
+fn main() {
+    let mut h = Harness::from_args("engine");
+    bench_instrumentation_layers(&mut h);
+    bench_parallel_runtime(&mut h);
+    h.finish();
 }
 
-fn bench_parallel_runtime(c: &mut Criterion) {
-    let mut group = c.benchmark_group("par_runtime_fib16");
-    group.sample_size(10);
+fn bench_instrumentation_layers(h: &mut Harness) {
+    let mut g = h.group("engine_layers");
+    let n = 16u32;
+
+    g.bench("uninstrumented", || {
+        SerialEngine::new().run(|cx| {
+            fib::fib_program(cx, n);
+        })
+    });
+
+    g.bench("empty_tool", || {
+        let mut t = EmptyTool;
+        SerialEngine::new().run_tool(&mut t, |cx| {
+            fib::fib_program(cx, n);
+        })
+    });
+
+    let spec = StealSpec::EveryBlock(BlockScript::steals(vec![1]));
+    let views_spec = spec.clone();
+    g.bench("views_no_tool", move || {
+        SerialEngine::with_spec(views_spec.clone()).run(|cx| {
+            fib::fib_program(cx, n);
+        })
+    });
+
+    g.bench("views_empty_tool", move || {
+        let mut t = EmptyTool;
+        SerialEngine::with_spec(spec.clone()).run_tool(&mut t, |cx| {
+            fib::fib_program(cx, n);
+        })
+    });
+}
+
+fn bench_parallel_runtime(h: &mut Harness) {
+    let mut g = h.group("par_runtime_fib16");
     for workers in [1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(workers),
-            &workers,
-            |b, &workers| {
-                b.iter(|| {
-                    let rt = ParRuntime::new(workers);
-                    let (_s, v) = rt.run(|cx| par_fib(cx, 16));
-                    assert_eq!(v, fib::fib_reference(16));
-                    v
-                });
-            },
-        );
+        g.bench(workers.to_string(), || {
+            let rt = ParRuntime::new(workers);
+            let (_s, v) = rt.run(|cx| par_fib(cx, 16));
+            assert_eq!(v, fib::fib_reference(16));
+            v
+        });
     }
-    group.finish();
 }
 
 fn par_fib(cx: &mut rader_cilk::par::ParCtx<'_>, n: u32) -> i64 {
@@ -102,6 +89,3 @@ fn par_fib_rec(
     par_fib_rec(cx, n - 2, sum);
     cx.sync();
 }
-
-criterion_group!(benches, bench_instrumentation_layers, bench_parallel_runtime);
-criterion_main!(benches);

@@ -8,54 +8,56 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use rader_bench::timing::Harness;
 use rader_cilk::{BlockScript, Ctx, SerialEngine, StealSpec, ViewMem, ViewMonoid, Word};
 use rader_core::{PeerSet, SpPlus};
 use rader_workloads::fib;
 
+fn main() {
+    let mut h = Harness::from_args("scaling");
+    bench_peerset_scaling(&mut h);
+    bench_spplus_steal_density(&mut h);
+    bench_spplus_reduce_cost(&mut h);
+    h.finish();
+}
+
 /// Theorem 1: Peer-Set time vs computation size T.
-fn bench_peerset_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("peerset_scaling_T");
-    group.sample_size(10);
+fn bench_peerset_scaling(h: &mut Harness) {
+    let mut g = h.group("peerset_scaling_T");
     for n in [10u32, 14, 18] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut tool = PeerSet::new();
-                SerialEngine::new().run_tool(&mut tool, |cx| {
-                    fib::fib_program(cx, n);
-                });
-                assert!(!tool.report().has_races());
+        g.bench(n.to_string(), || {
+            let mut tool = PeerSet::new();
+            SerialEngine::new().run_tool(&mut tool, |cx| {
+                fib::fib_program(cx, n);
             });
+            assert!(!tool.report().has_races());
         });
     }
-    group.finish();
 }
 
 /// Theorem 5, the `M` term: SP+ time vs steal density on fixed work.
-fn bench_spplus_steal_density(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spplus_scaling_M");
-    group.sample_size(10);
+fn bench_spplus_steal_density(h: &mut Harness) {
+    let mut g = h.group("spplus_scaling_M");
     // fib's sync blocks have one continuation; vary which fraction of
     // frames steal by keying on spawn count.
     let specs: Vec<(&str, StealSpec)> = vec![
         ("no steals", StealSpec::None),
         ("steal depth 8 only", StealSpec::AtSpawnCount(8)),
         ("steal depth 4 only", StealSpec::AtSpawnCount(4)),
-        ("steal every block", StealSpec::EveryBlock(BlockScript::steals(vec![1]))),
+        (
+            "steal every block",
+            StealSpec::EveryBlock(BlockScript::steals(vec![1])),
+        ),
     ];
     for (label, spec) in specs {
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                let mut tool = SpPlus::new();
-                SerialEngine::with_spec(spec.clone()).run_tool(&mut tool, |cx| {
-                    fib::fib_program(cx, 14);
-                });
-                assert!(!tool.report().has_races());
+        g.bench(label, || {
+            let mut tool = SpPlus::new();
+            SerialEngine::with_spec(spec.clone()).run_tool(&mut tool, |cx| {
+                fib::fib_program(cx, 14);
             });
+            assert!(!tool.report().has_races());
         });
     }
-    group.finish();
 }
 
 /// A monoid whose reduce costs `tau` memory operations.
@@ -81,35 +83,23 @@ impl ViewMonoid for HeavyReduce {
 }
 
 /// Theorem 5, the `τ` term: SP+ time vs reduce cost at fixed M.
-fn bench_spplus_reduce_cost(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spplus_scaling_tau");
-    group.sample_size(10);
+fn bench_spplus_reduce_cost(h: &mut Harness) {
+    let mut g = h.group("spplus_scaling_tau");
     for tau in [1usize, 64, 512] {
-        group.bench_with_input(BenchmarkId::from_parameter(tau), &tau, |b, &tau| {
-            let spec = StealSpec::EveryBlock(BlockScript::steals(vec![1, 2, 3, 4]));
-            b.iter(|| {
-                let mut tool = SpPlus::new();
-                SerialEngine::with_spec(spec.clone()).run_tool(&mut tool, |cx: &mut Ctx<'_>| {
-                    let h = cx.new_reducer(Arc::new(HeavyReduce { tau }));
-                    for round in 0..32 {
-                        for i in 0..8 {
-                            let x = round * 8 + i;
-                            cx.spawn(move |cx| cx.reducer_update(h, &[x]));
-                        }
-                        cx.sync();
+        let spec = StealSpec::EveryBlock(BlockScript::steals(vec![1, 2, 3, 4]));
+        g.bench(tau.to_string(), || {
+            let mut tool = SpPlus::new();
+            SerialEngine::with_spec(spec.clone()).run_tool(&mut tool, |cx: &mut Ctx<'_>| {
+                let h = cx.new_reducer(Arc::new(HeavyReduce { tau }));
+                for round in 0..32 {
+                    for i in 0..8 {
+                        let x = round * 8 + i;
+                        cx.spawn(move |cx| cx.reducer_update(h, &[x]));
                     }
-                });
-                assert!(!tool.report().has_races());
+                    cx.sync();
+                }
             });
+            assert!(!tool.report().has_races());
         });
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_peerset_scaling,
-    bench_spplus_steal_density,
-    bench_spplus_reduce_cost
-);
-criterion_main!(benches);

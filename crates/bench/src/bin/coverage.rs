@@ -62,10 +62,7 @@ fn main() {
             assert!(!tool.report().has_races());
             total_steals += tool.steals;
         }
-        println!(
-            "{k:>4} {d:>4} {m:>6} {:>8} {total_steals:>16}",
-            specs.len()
-        );
+        println!("{k:>4} {d:>4} {m:>6} {:>8} {total_steals:>16}", specs.len());
         assert_eq!(m, k * (d + 1), "M should equal K·(D+1) for this family");
     }
 

@@ -22,6 +22,8 @@
 //! [`figure7_rows`] / [`figure8_rows`] assemble the tables; the `tables`
 //! binary prints them in the paper's layout with geometric means.
 
+pub mod timing;
+
 use std::time::{Duration, Instant};
 
 use rader_cilk::{EmptyTool, SerialEngine, StealSpec};
@@ -142,8 +144,8 @@ fn rows_over(denom_config: Config, scale: Scale, reps: usize) -> Vec<Row> {
         .map(|w| {
             let k = measure_k(w);
             let denom = measure_workload(w, denom_config, k, reps).as_secs_f64();
-            let overheads = Config::COLUMNS
-                .map(|c| measure_workload(w, c, k, reps).as_secs_f64() / denom);
+            let overheads =
+                Config::COLUMNS.map(|c| measure_workload(w, c, k, reps).as_secs_f64() / denom);
             Row {
                 name: w.name,
                 input: w.input_label.clone(),
@@ -220,7 +222,13 @@ pub fn print_table(title: &str, denom: &str, rows: &[Row]) {
     for r in rows {
         println!(
             "{:<10} {:<22} {:<28} {:>22.2} {:>11.2} {:>14.2} {:>17.2}",
-            r.name, r.input, r.description, r.overheads[0], r.overheads[1], r.overheads[2], r.overheads[3]
+            r.name,
+            r.input,
+            r.description,
+            r.overheads[0],
+            r.overheads[1],
+            r.overheads[2],
+            r.overheads[3]
         );
     }
     println!(
@@ -243,7 +251,10 @@ mod tests {
     fn specs_follow_configs() {
         assert_eq!(spec_for(Config::Baseline, 8), StealSpec::None);
         assert_eq!(spec_for(Config::PeerSet, 8), StealSpec::None);
-        assert_eq!(spec_for(Config::SpPlusUpdates, 8), StealSpec::AtSpawnCount(4));
+        assert_eq!(
+            spec_for(Config::SpPlusUpdates, 8),
+            StealSpec::AtSpawnCount(4)
+        );
         assert!(matches!(
             spec_for(Config::SpPlusReductions, 8),
             StealSpec::Random {
@@ -253,7 +264,10 @@ mod tests {
             }
         ));
         // Degenerate K never yields a zero spawn-count spec.
-        assert_eq!(spec_for(Config::SpPlusUpdates, 1), StealSpec::AtSpawnCount(1));
+        assert_eq!(
+            spec_for(Config::SpPlusUpdates, 1),
+            StealSpec::AtSpawnCount(1)
+        );
     }
 
     #[test]

@@ -33,9 +33,7 @@ use std::sync::Arc;
 
 use rader_dsu::ViewId;
 
-use crate::events::{
-    AccessKind, EnterKind, FrameId, ReducerId, ReducerReadKind, StrandId, Tool,
-};
+use crate::events::{AccessKind, EnterKind, FrameId, ReducerId, ReducerReadKind, StrandId, Tool};
 use crate::mem::{Loc, MemArena, Word};
 use crate::monoid::{MemBackend, ViewMem, ViewMonoid};
 use crate::spec::{BlockOp, BlockScript, StealSpec};
@@ -453,7 +451,12 @@ impl<'t> Ctx<'t> {
         });
         self.stats.reducer_reads += 1;
         if let ToolRef::Dyn(t) = &mut self.tool {
-            t.reducer_read(self.cur_frame, StrandId(self.strand), h, ReducerReadKind::Create);
+            t.reducer_read(
+                self.cur_frame,
+                StrandId(self.strand),
+                h,
+                ReducerReadKind::Create,
+            );
         }
         h
     }
@@ -478,7 +481,12 @@ impl<'t> Ctx<'t> {
     pub fn reducer_get_view(&mut self, h: ReducerId) -> Loc {
         self.stats.reducer_reads += 1;
         if let ToolRef::Dyn(t) = &mut self.tool {
-            t.reducer_read(self.cur_frame, StrandId(self.strand), h, ReducerReadKind::Get);
+            t.reducer_read(
+                self.cur_frame,
+                StrandId(self.strand),
+                h,
+                ReducerReadKind::Get,
+            );
         }
         self.ensure_view(h)
     }
@@ -488,7 +496,12 @@ impl<'t> Ctx<'t> {
     pub fn reducer_set_view(&mut self, h: ReducerId, loc: Loc) {
         self.stats.reducer_reads += 1;
         if let ToolRef::Dyn(t) = &mut self.tool {
-            t.reducer_read(self.cur_frame, StrandId(self.strand), h, ReducerReadKind::Set);
+            t.reducer_read(
+                self.cur_frame,
+                StrandId(self.strand),
+                h,
+                ReducerReadKind::Set,
+            );
         }
         let epoch = *self.epochs.last().expect("root epoch missing");
         let views = &mut self.reducers[h.index()].views;
@@ -519,7 +532,11 @@ impl<'t> Ctx<'t> {
 }
 
 fn find_view(views: &[(ViewId, Loc)], epoch: ViewId) -> Option<Loc> {
-    views.iter().rev().find(|(e, _)| *e == epoch).map(|&(_, l)| l)
+    views
+        .iter()
+        .rev()
+        .find(|(e, _)| *e == epoch)
+        .map(|&(_, l)| l)
 }
 
 fn take_view(views: &mut Vec<(ViewId, Loc)>, epoch: ViewId) -> Option<Loc> {
@@ -783,14 +800,16 @@ mod tests {
     #[test]
     fn counting_tool_sees_balanced_events() {
         let mut t = CountingTool::default();
-        SerialEngine::with_spec(StealSpec::EveryBlock(BlockScript::steals(vec![1])))
-            .run_tool(&mut t, |cx| {
+        SerialEngine::with_spec(StealSpec::EveryBlock(BlockScript::steals(vec![1]))).run_tool(
+            &mut t,
+            |cx| {
                 let h = cx.new_reducer(add_monoid());
                 cx.spawn(move |cx| cx.reducer_update(h, &[1]));
                 cx.spawn(move |cx| cx.reducer_update(h, &[2]));
                 cx.sync();
                 let _ = cx.reducer_get_view(h);
-            });
+            },
+        );
         assert_eq!(t.frame_enters, t.frame_leaves);
         assert_eq!(t.frame_enters, 3); // root + 2 spawns
         assert_eq!(t.steals, 1);

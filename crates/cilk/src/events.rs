@@ -145,8 +145,13 @@ pub trait Tool {
     fn write(&mut self, frame: FrameId, strand: StrandId, loc: Loc, kind: AccessKind) {}
 
     /// A reducer-read (create / set / get) of reducer `h`.
-    fn reducer_read(&mut self, frame: FrameId, strand: StrandId, h: ReducerId, kind: ReducerReadKind)
-    {
+    fn reducer_read(
+        &mut self,
+        frame: FrameId,
+        strand: StrandId,
+        h: ReducerId,
+        kind: ReducerReadKind,
+    ) {
     }
 }
 

@@ -27,6 +27,7 @@
 //!   fork-join programs for property tests and the Section-7 coverage
 //!   experiments.
 
+pub mod deque;
 pub mod engine;
 pub mod events;
 pub mod mem;

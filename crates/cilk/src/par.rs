@@ -24,14 +24,20 @@
 //! reads) really is nondeterministic here — the examples use this runtime
 //! to *exhibit* the bugs the detectors catch. Shared cells are atomics
 //! (relaxed), so simulated races yield arbitrary interleavings, not UB.
+//!
+//! The scheduler is built entirely on `std` and in-tree primitives (see
+//! the hermetic-build policy in DESIGN.md): per-worker [`WorkDeque`]s
+//! (owner LIFO / thief FIFO) plus an [`Injector`] replace
+//! `crossbeam_deque`, and `std::sync::{Mutex, RwLock, Condvar}` replace
+//! `parking_lot`. Idle workers park on a [`Condvar`] with a short
+//! timeout instead of spinning, and every `spawn` wakes one sleeper.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::time::Duration;
 
-use crossbeam_deque::{Injector, Steal, Stealer, Worker};
-use parking_lot::{Mutex, RwLock};
-
+use crate::deque::{Injector, WorkDeque};
 use crate::events::ReducerId;
 use crate::mem::{Loc, Word};
 use crate::monoid::{MemBackend, ViewMem, ViewMonoid};
@@ -95,6 +101,12 @@ impl Slot {
     }
 }
 
+/// Lock a mutex, surviving poisoning (a panicking simulated program must
+/// not wedge the whole pool).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// A frame: tracks outstanding spawned children and the sync-block slot.
 struct FrameNode {
     /// Spawned children that have not yet returned.
@@ -107,14 +119,57 @@ struct Job {
     f: Box<dyn FnOnce(&mut ParCtx<'_>) + Send>,
 }
 
+/// Condvar-based sleep/wake for workers that find no runnable job.
+struct Parker {
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Parker {
+    fn new() -> Self {
+        Parker {
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Sleep briefly; woken early by [`Parker::unpark_one`] /
+    /// [`Parker::unpark_all`]. The timeout bounds the cost of a missed
+    /// wakeup (push raced with the sleep decision) without a seqlock.
+    fn park(&self) {
+        let guard = lock(&self.lock);
+        let _ = self
+            .cv
+            .wait_timeout(guard, Duration::from_micros(100))
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+
+    fn unpark_one(&self) {
+        self.cv.notify_one();
+    }
+
+    fn unpark_all(&self) {
+        self.cv.notify_all();
+    }
+}
+
 struct RtShared {
     arena: ParArena,
     injector: Injector<Job>,
-    stealers: Vec<Stealer<Job>>,
+    /// One deque per worker; worker `i` owns `queues[i]`, everyone else
+    /// steals from its front.
+    queues: Vec<WorkDeque<Job>>,
     monoids: RwLock<Vec<Arc<dyn ViewMonoid>>>,
+    parker: Parker,
     shutdown: AtomicBool,
     steals: AtomicUsize,
     tasks: AtomicUsize,
+}
+
+impl RtShared {
+    fn monoid(&self, h: ReducerId) -> Arc<dyn ViewMonoid> {
+        self.monoids.read().unwrap_or_else(PoisonError::into_inner)[h.index()].clone()
+    }
 }
 
 /// Memory backend over the shared atomic arena.
@@ -140,7 +195,6 @@ impl MemBackend for ParMem<'_> {
 /// [`Ctx`]: crate::engine::Ctx
 pub struct ParCtx<'rt> {
     rt: &'rt RtShared,
-    local: &'rt Worker<Job>,
     worker_index: usize,
     frame: Arc<FrameNode>,
     /// Slot new updates land in.
@@ -182,7 +236,11 @@ impl<'rt> ParCtx<'rt> {
 
     /// Register a reducer.
     pub fn new_reducer(&self, monoid: Arc<dyn ViewMonoid>) -> ReducerId {
-        let mut m = self.rt.monoids.write();
+        let mut m = self
+            .rt
+            .monoids
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
         let h = ReducerId(m.len() as u32);
         m.push(monoid);
         h
@@ -190,9 +248,9 @@ impl<'rt> ParCtx<'rt> {
 
     /// Apply one update to reducer `h`'s view in the current slot.
     pub fn reducer_update(&mut self, h: ReducerId, op: &[Word]) {
-        let monoid = self.rt.monoids.read()[h.index()].clone();
+        let monoid = self.rt.monoid(h);
         let view = {
-            let mut views = self.slot.views.lock();
+            let mut views = lock(&self.slot.views);
             match views.iter().find(|(r, _)| *r == h) {
                 Some(&(_, loc)) => loc,
                 None => {
@@ -211,8 +269,8 @@ impl<'rt> ParCtx<'rt> {
     /// before a sync is exactly the view-read race the Peer-Set algorithm
     /// detects — the value depends on scheduling.
     pub fn reducer_get_view(&mut self, h: ReducerId) -> Loc {
-        let monoid = self.rt.monoids.read()[h.index()].clone();
-        let mut views = self.slot.views.lock();
+        let monoid = self.rt.monoid(h);
+        let mut views = lock(&self.slot.views);
         match views.iter().find(|(r, _)| *r == h) {
             Some(&(_, loc)) => loc,
             None => {
@@ -226,7 +284,7 @@ impl<'rt> ParCtx<'rt> {
 
     /// `set_value`: make `loc` the current slot's view of `h`.
     pub fn reducer_set_view(&mut self, h: ReducerId, loc: Loc) {
-        let mut views = self.slot.views.lock();
+        let mut views = lock(&self.slot.views);
         views.retain(|(r, _)| *r != h);
         views.push((h, loc));
     }
@@ -237,26 +295,27 @@ impl<'rt> ParCtx<'rt> {
         let child_slot = Slot::new();
         let cont_slot = Slot::new();
         {
-            let mut ch = self.slot.children.lock();
+            let mut ch = lock(&self.slot.children);
             ch.push(child_slot.clone());
             ch.push(cont_slot.clone());
         }
         self.slot = cont_slot;
         self.frame.pending.fetch_add(1, Ordering::AcqRel);
         self.rt.tasks.fetch_add(1, Ordering::Relaxed);
-        self.local.push(Job {
+        self.rt.queues[self.worker_index].push(Job {
             frame: self.frame.clone(),
             slot: child_slot,
             f: Box::new(f),
         });
+        self.rt.parker.unpark_one();
     }
 
     /// Wait for all spawned children of this frame; fold the block's view
     /// slots in serial order.
     pub fn sync(&mut self) {
         while self.frame.pending.load(Ordering::Acquire) != 0 {
-            if let Some(job) = find_job(self.rt, self.local) {
-                run_job(self.rt, self.local, self.worker_index, job);
+            if let Some(job) = find_job(self.rt, self.worker_index) {
+                run_job(self.rt, self.worker_index, job);
             } else {
                 std::thread::yield_now();
             }
@@ -303,13 +362,13 @@ where
 /// Fold `slot`'s subtree into `slot.views`, left to right (serial order),
 /// then clear its children. Caller must ensure the subtree is quiescent.
 fn fold_slot(rt: &RtShared, slot: &Arc<Slot>) {
-    let children: Vec<Arc<Slot>> = std::mem::take(&mut *slot.children.lock());
+    let children: Vec<Arc<Slot>> = std::mem::take(&mut *lock(&slot.children));
     for child in children {
         fold_slot(rt, &child);
-        let child_views: Vec<(ReducerId, Loc)> = std::mem::take(&mut *child.views.lock());
+        let child_views: Vec<(ReducerId, Loc)> = std::mem::take(&mut *lock(&child.views));
         for (h, right) in child_views {
-            let monoid = rt.monoids.read()[h.index()].clone();
-            let mut views = slot.views.lock();
+            let monoid = rt.monoid(h);
+            let mut views = lock(&slot.views);
             match views.iter().find(|(r, _)| *r == h) {
                 Some(&(_, left)) => {
                     drop(views);
@@ -324,44 +383,33 @@ fn fold_slot(rt: &RtShared, slot: &Arc<Slot>) {
     }
 }
 
-fn find_job(rt: &RtShared, local: &Worker<Job>) -> Option<Job> {
-    if let Some(job) = local.pop() {
+fn find_job(rt: &RtShared, worker_index: usize) -> Option<Job> {
+    if let Some(job) = rt.queues[worker_index].pop() {
         return Some(job);
     }
-    // Try the global injector, then steal from siblings.
-    loop {
-        match rt.injector.steal_batch_and_pop(local) {
-            Steal::Success(job) => {
-                rt.steals.fetch_add(1, Ordering::Relaxed);
-                return Some(job);
-            }
-            Steal::Empty => break,
-            Steal::Retry => continue,
-        }
+    // Try the global injector, then steal from siblings (round-robin
+    // starting after self, so thieves spread across victims).
+    if let Some(job) = rt.injector.steal() {
+        rt.steals.fetch_add(1, Ordering::Relaxed);
+        return Some(job);
     }
-    let n = rt.stealers.len();
-    for s in &rt.stealers[..n] {
-        loop {
-            match s.steal() {
-                Steal::Success(job) => {
-                    rt.steals.fetch_add(1, Ordering::Relaxed);
-                    return Some(job);
-                }
-                Steal::Empty => break,
-                Steal::Retry => continue,
-            }
+    let n = rt.queues.len();
+    for off in 1..n {
+        let victim = (worker_index + off) % n;
+        if let Some(job) = rt.queues[victim].steal() {
+            rt.steals.fetch_add(1, Ordering::Relaxed);
+            return Some(job);
         }
     }
     None
 }
 
-fn run_job(rt: &RtShared, local: &Worker<Job>, worker_index: usize, job: Job) {
+fn run_job(rt: &RtShared, worker_index: usize, job: Job) {
     let child_frame = Arc::new(FrameNode {
         pending: AtomicUsize::new(0),
     });
     let mut cx = ParCtx {
         rt,
-        local,
         worker_index,
         frame: child_frame,
         block_slot: job.slot.clone(),
@@ -426,36 +474,29 @@ impl ParRuntime {
 
     /// Run `program` to completion on the pool; returns run statistics and
     /// the program's result. The calling thread acts as worker 0.
-    pub fn run<R: Send>(
-        &self,
-        program: impl FnOnce(&mut ParCtx<'_>) -> R + Send,
-    ) -> (ParStats, R) {
-        let workers: Vec<Worker<Job>> = (0..self.workers).map(|_| Worker::new_lifo()).collect();
-        let stealers: Vec<Stealer<Job>> = workers.iter().map(|w| w.stealer()).collect();
+    pub fn run<R: Send>(&self, program: impl FnOnce(&mut ParCtx<'_>) -> R + Send) -> (ParStats, R) {
         let rt = RtShared {
             arena: ParArena::new(self.arena_capacity),
             injector: Injector::new(),
-            stealers,
+            queues: (0..self.workers).map(|_| WorkDeque::new()).collect(),
             monoids: RwLock::new(Vec::new()),
+            parker: Parker::new(),
             shutdown: AtomicBool::new(false),
             steals: AtomicUsize::new(0),
             tasks: AtomicUsize::new(0),
         };
-        let mut workers = workers;
-        let my_worker = workers.remove(0);
         let nworkers = self.workers;
 
         let result = std::thread::scope(|scope| {
             // Helper workers: steal and run jobs until shutdown.
-            for (i, w) in workers.into_iter().enumerate() {
+            for i in 1..nworkers {
                 let rt = &rt;
                 scope.spawn(move || {
-                    let w = w;
                     while !rt.shutdown.load(Ordering::Acquire) {
-                        if let Some(job) = find_job(rt, &w) {
-                            run_job(rt, &w, i + 1, job);
+                        if let Some(job) = find_job(rt, i) {
+                            run_job(rt, i, job);
                         } else {
-                            std::thread::yield_now();
+                            rt.parker.park();
                         }
                     }
                 });
@@ -467,7 +508,6 @@ impl ParRuntime {
             let root_slot = Slot::new();
             let mut cx = ParCtx {
                 rt: &rt,
-                local: &my_worker,
                 worker_index: 0,
                 frame: root_frame,
                 block_slot: root_slot.clone(),
@@ -476,6 +516,7 @@ impl ParRuntime {
             let r = program(&mut cx);
             cx.sync();
             rt.shutdown.store(true, Ordering::Release);
+            rt.parker.unpark_all();
             r
         });
 

@@ -15,12 +15,11 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rader_rng::Rng;
 
 use crate::engine::Ctx;
-use crate::monoid::ViewMem;
 use crate::mem::{Loc, Word};
+use crate::monoid::ViewMem;
 use crate::monoid::ViewMonoid;
 
 /// An AST node of a synthetic program.
@@ -149,7 +148,10 @@ impl ViewMonoid for HashConcat {
         let len = m.read(view);
         let h = m.read(view.at(1)) as u64;
         m.write(view, len + 1);
-        m.write(view.at(1), h.wrapping_mul(B).wrapping_add(op[0] as u64) as Word);
+        m.write(
+            view.at(1),
+            h.wrapping_mul(B).wrapping_add(op[0] as u64) as Word,
+        );
     }
     fn name(&self) -> &'static str {
         "hash-concat"
@@ -251,7 +253,7 @@ impl Default for GenConfig {
 /// Generate a random program from a seed. Deterministic in
 /// `(seed, config)`.
 pub fn gen_program(seed: u64, cfg: &GenConfig) -> SynthProgram {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut budget = cfg.size.max(1);
     let body = gen_seq(&mut rng, cfg, &mut budget, 0);
     SynthProgram {
@@ -261,7 +263,7 @@ pub fn gen_program(seed: u64, cfg: &GenConfig) -> SynthProgram {
     }
 }
 
-fn gen_seq(rng: &mut StdRng, cfg: &GenConfig, budget: &mut u32, depth: u32) -> Node {
+fn gen_seq(rng: &mut Rng, cfg: &GenConfig, budget: &mut u32, depth: u32) -> Node {
     let mut stmts = Vec::new();
     let n = rng.gen_range(1..=5usize);
     for _ in 0..n {
@@ -274,7 +276,7 @@ fn gen_seq(rng: &mut StdRng, cfg: &GenConfig, budget: &mut u32, depth: u32) -> N
     Node::Seq(stmts)
 }
 
-fn gen_stmt(rng: &mut StdRng, cfg: &GenConfig, budget: &mut u32, depth: u32) -> Node {
+fn gen_stmt(rng: &mut Rng, cfg: &GenConfig, budget: &mut u32, depth: u32) -> Node {
     // Weighted statement choice; structural statements only while budget
     // and depth allow.
     let can_nest = depth < cfg.max_depth && *budget > 2;
@@ -306,7 +308,7 @@ fn gen_stmt(rng: &mut StdRng, cfg: &GenConfig, budget: &mut u32, depth: u32) -> 
 /// spawn is outstanding. Used for "deterministic result under every steal
 /// spec" properties.
 pub fn gen_racefree(seed: u64, cfg: &GenConfig) -> SynthProgram {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut budget = cfg.size.max(1);
     let body = gen_rf_frame(&mut rng, cfg, &mut budget, 0);
     SynthProgram {
@@ -316,7 +318,7 @@ pub fn gen_racefree(seed: u64, cfg: &GenConfig) -> SynthProgram {
     }
 }
 
-fn gen_rf_frame(rng: &mut StdRng, cfg: &GenConfig, budget: &mut u32, depth: u32) -> Node {
+fn gen_rf_frame(rng: &mut Rng, cfg: &GenConfig, budget: &mut u32, depth: u32) -> Node {
     let mut stmts = Vec::new();
     let blocks = rng.gen_range(1..=2usize);
     for _ in 0..blocks {
@@ -347,7 +349,7 @@ fn gen_rf_frame(rng: &mut StdRng, cfg: &GenConfig, budget: &mut u32, depth: u32)
     Node::Seq(stmts)
 }
 
-fn gen_rf_updates(rng: &mut StdRng, cfg: &GenConfig, budget: &mut u32) -> Node {
+fn gen_rf_updates(rng: &mut Rng, cfg: &GenConfig, budget: &mut u32) -> Node {
     let mut stmts = Vec::new();
     let n = rng.gen_range(1..=3usize);
     for _ in 0..n {

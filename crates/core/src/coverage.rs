@@ -129,7 +129,10 @@ pub fn exhaustive_check(
 ) -> ExhaustiveReport {
     // Measure K and M with an uninstrumented run.
     let stats = SerialEngine::new().run(&program);
-    let k = opts.max_k.unwrap_or(stats.max_sync_block).min(stats.max_sync_block);
+    let k = opts
+        .max_k
+        .unwrap_or(stats.max_sync_block)
+        .min(stats.max_sync_block);
     let m = opts
         .max_spawn_count
         .unwrap_or(stats.max_spawn_count)
@@ -173,7 +176,10 @@ pub fn exhaustive_check_parallel(
     threads: usize,
 ) -> ExhaustiveReport {
     let stats = SerialEngine::new().run(&program);
-    let k = opts.max_k.unwrap_or(stats.max_sync_block).min(stats.max_sync_block);
+    let k = opts
+        .max_k
+        .unwrap_or(stats.max_sync_block)
+        .min(stats.max_sync_block);
     let m = opts
         .max_spawn_count
         .unwrap_or(stats.max_spawn_count)
@@ -204,8 +210,10 @@ pub fn exhaustive_check_parallel(
                 local
             }));
         }
-        let mut all: Vec<(usize, RaceReport)> =
-            handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<(usize, RaceReport)> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort_by_key(|(i, _)| *i);
         all
     });

@@ -64,7 +64,13 @@ impl SpBags {
         self.report
     }
 
-    fn record_race(&mut self, loc: Loc, prior: ShadowEntry, prior_write: bool, current: AccessInfo) {
+    fn record_race(
+        &mut self,
+        loc: Loc,
+        prior: ShadowEntry,
+        prior_write: bool,
+        current: AccessInfo,
+    ) {
         if self.report.determinacy.iter().any(|r| r.loc == loc) {
             return;
         }
@@ -80,7 +86,14 @@ impl SpBags {
         });
     }
 
-    fn access(&mut self, frame: FrameId, strand: StrandId, loc: Loc, write: bool, kind: AccessKind) {
+    fn access(
+        &mut self,
+        frame: FrameId,
+        strand: StrandId,
+        loc: Loc,
+        write: bool,
+        kind: AccessKind,
+    ) {
         self.checks += 1;
         let f = self.stack.last().expect("access with empty stack");
         let me = ShadowEntry {

@@ -132,7 +132,14 @@ impl SpOrder {
         });
     }
 
-    fn access(&mut self, frame: FrameId, strand: StrandId, loc: Loc, write: bool, kind: AccessKind) {
+    fn access(
+        &mut self,
+        frame: FrameId,
+        strand: StrandId,
+        loc: Loc,
+        write: bool,
+        kind: AccessKind,
+    ) {
         self.checks += 1;
         let cur = self.stack.last().expect("no active frame").cur;
         let me = Shadow {
@@ -394,10 +401,12 @@ mod tests {
     fn steals_are_rejected() {
         use rader_cilk::{BlockScript, StealSpec};
         let mut tool = SpOrder::new();
-        SerialEngine::with_spec(StealSpec::EveryBlock(BlockScript::steals(vec![1])))
-            .run_tool(&mut tool, |cx| {
+        SerialEngine::with_spec(StealSpec::EveryBlock(BlockScript::steals(vec![1]))).run_tool(
+            &mut tool,
+            |cx| {
                 cx.spawn(|_| {});
                 cx.sync();
-            });
+            },
+        );
     }
 }

@@ -17,9 +17,11 @@
 //! invocation* are special twice over: the reduce runs as its own
 //! invocation whose ID joins the just-merged top P bag (making the reduce
 //! strand logically parallel to the frame's later user strands but
-//! serial, via the view ID, with the strands whose views it folds), and
-//! the shadow spaces may be overwritten by a reduce access whose view ID
-//! matches the previous accessor's.
+//! serial, via the view ID, with the strands whose views it folds). The
+//! shadow spaces keep parallel (P-bag) entries even across reduce
+//! accesses: sharing a view ID does not place the previous accessor
+//! under a merged view, and when it *is* under one, the reduce's element
+//! joins its bag anyway once the region closes.
 
 use rader_cilk::{AccessKind, EnterKind, FrameId, Loc, StrandId, Tool};
 use rader_dsu::{Bag, BagForest, BagKind, Elem, ViewId};
@@ -111,7 +113,13 @@ impl SpPlus {
         }
     }
 
-    fn record_race(&mut self, loc: Loc, prior: ShadowEntry, prior_write: bool, current: AccessInfo) {
+    fn record_race(
+        &mut self,
+        loc: Loc,
+        prior: ShadowEntry,
+        prior_write: bool,
+        current: AccessInfo,
+    ) {
         if self.report.determinacy.iter().any(|r| r.loc == loc) {
             return;
         }
@@ -127,7 +135,14 @@ impl SpPlus {
         });
     }
 
-    fn access(&mut self, frame: FrameId, strand: StrandId, loc: Loc, write: bool, kind: AccessKind) {
+    fn access(
+        &mut self,
+        frame: FrameId,
+        strand: StrandId,
+        loc: Loc,
+        write: bool,
+        kind: AccessKind,
+    ) {
         self.checks += 1;
         let in_reduce = kind.in_reduce();
         if !in_reduce {
@@ -181,12 +196,20 @@ impl SpPlus {
                     self.record_race(loc, prev, true, current);
                 }
             }
-            // Shadow update.
+            // Shadow update: replace only serial entries. A parallel
+            // (P-bag) entry must survive — even against a reduce access
+            // whose view ID matches it, because equal view IDs do not
+            // imply the previous accessor lies under one of the views the
+            // reduce merges (an unstolen sibling can share the frame's
+            // entry view while staying parallel to the reduce). When the
+            // previous accessor *is* under a merged view, the reduce's
+            // element joins its bag at the region flush anyway, so
+            // keeping the old entry yields identical verdicts.
             let update = match self.writer.get(loc) {
                 None => true,
                 Some(prev) => {
                     let info = self.forest.find_info(prev.elem);
-                    !info.kind.is_p() || (in_reduce && info.vid == vid)
+                    !info.kind.is_p()
                 }
             };
             if update {
@@ -208,7 +231,7 @@ impl SpPlus {
                 None => true,
                 Some(prev) => {
                     let info = self.forest.find_info(prev.elem);
-                    !info.kind.is_p() || (in_reduce && info.vid == vid)
+                    !info.kind.is_p()
                 }
             };
             if update {
@@ -361,17 +384,14 @@ mod tests {
 
     #[test]
     fn split_views_do_not_race_under_steals() {
-        let r = check(
-            StealSpec::EveryBlock(BlockScript::steals(vec![1])),
-            |cx| {
-                let h = cx.new_reducer(Arc::new(SynthAdd));
-                cx.spawn(move |cx| cx.reducer_update(h, &[1]));
-                cx.reducer_update(h, &[2]);
-                cx.sync();
-                let v = cx.reducer_get_view(h);
-                let _ = cx.read(v);
-            },
-        );
+        let r = check(StealSpec::EveryBlock(BlockScript::steals(vec![1])), |cx| {
+            let h = cx.new_reducer(Arc::new(SynthAdd));
+            cx.spawn(move |cx| cx.reducer_update(h, &[1]));
+            cx.reducer_update(h, &[2]);
+            cx.sync();
+            let v = cx.reducer_get_view(h);
+            let _ = cx.read(v);
+        });
         assert!(!r.has_races(), "{r}");
     }
 

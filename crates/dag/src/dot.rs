@@ -151,20 +151,20 @@ mod tests {
     fn dot_output_is_well_formed() {
         use rader_cilk::synth::SynthAdd;
         use std::sync::Arc;
-        let hb = graph_for(
-            StealSpec::EveryBlock(BlockScript::steals(vec![1])),
-            |cx| {
-                let h = cx.new_reducer(Arc::new(SynthAdd));
-                cx.spawn(move |cx| cx.reducer_update(h, &[1]));
-                cx.reducer_update(h, &[2]);
-                cx.sync();
-            },
-        );
+        let hb = graph_for(StealSpec::EveryBlock(BlockScript::steals(vec![1])), |cx| {
+            let h = cx.new_reducer(Arc::new(SynthAdd));
+            cx.spawn(move |cx| cx.reducer_update(h, &[1]));
+            cx.reducer_update(h, &[2]);
+            cx.sync();
+        });
         let dot = hb.to_dot("fig");
         assert!(dot.starts_with("digraph"));
         assert!(dot.ends_with("}\n"));
         assert!(dot.contains("lightcoral"), "reduce strand should be shown");
-        assert!(dot.contains("lightgoldenrod"), "update strands should be shown");
+        assert!(
+            dot.contains("lightgoldenrod"),
+            "update strands should be shown"
+        );
         assert_eq!(dot.matches("->").count(), hb.direct_edges().len());
     }
 }

@@ -358,10 +358,7 @@ mod tests {
     use crate::trace::TraceRecorder;
     use rader_cilk::{BlockScript, SerialEngine, StealSpec};
 
-    fn trace_of(
-        spec: StealSpec,
-        prog: impl FnOnce(&mut rader_cilk::Ctx<'_>),
-    ) -> Vec<Ev> {
+    fn trace_of(spec: StealSpec, prog: impl FnOnce(&mut rader_cilk::Ctx<'_>)) -> Vec<Ev> {
         let mut rec = TraceRecorder::new();
         SerialEngine::with_spec(spec).run_tool(&mut rec, prog);
         rec.events

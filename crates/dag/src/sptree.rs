@@ -377,11 +377,13 @@ mod tests {
     fn stolen_traces_are_rejected() {
         use rader_cilk::BlockScript;
         let mut rec = TraceRecorder::new();
-        SerialEngine::with_spec(StealSpec::EveryBlock(BlockScript::steals(vec![1])))
-            .run_tool(&mut rec, |cx| {
+        SerialEngine::with_spec(StealSpec::EveryBlock(BlockScript::steals(vec![1]))).run_tool(
+            &mut rec,
+            |cx| {
                 cx.spawn(|_| {});
                 cx.sync();
-            });
+            },
+        );
         let _ = SpParseTree::build(&rec.events);
     }
 }

@@ -136,7 +136,10 @@ mod tests {
         assert_eq!(enters, 2); // root + child
         assert_eq!(enters, leaves);
         assert!(matches!(rec.events[0], Ev::Enter(_, EnterKind::Root)));
-        assert!(matches!(rec.events.last(), Some(Ev::Leave(_, EnterKind::Root))));
+        assert!(matches!(
+            rec.events.last(),
+            Some(Ev::Leave(_, EnterKind::Root))
+        ));
         let accesses = rec
             .events
             .iter()

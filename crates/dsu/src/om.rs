@@ -200,9 +200,8 @@ mod tests {
 
     #[test]
     fn matches_reference_order_under_random_insertions() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(42);
+        use rader_rng::Rng;
+        let mut rng = Rng::seed_from_u64(42);
         let mut om = OmList::new();
         // Reference: a Vec of node handles in true order.
         let mut reference = vec![om.base()];

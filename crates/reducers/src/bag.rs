@@ -72,10 +72,7 @@ impl ViewMonoid for BagMonoid {
             let a = dec_ptr(m.read(left.at(SPINE + k)));
             let b = dec_ptr(m.read(right.at(SPINE + k)));
             let (keep, new_carry) = full_adder(m, a, b, carry);
-            m.write(
-                left.at(SPINE + k),
-                keep.map(enc_ptr).unwrap_or(0),
-            );
+            m.write(left.at(SPINE + k), keep.map(enc_ptr).unwrap_or(0));
             carry = new_carry;
         }
         assert!(carry.is_none(), "bag spine overflow during union");

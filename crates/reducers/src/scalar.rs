@@ -157,7 +157,12 @@ mod tests {
     scalar_test!(opmul_products, OpMul, vec![2, 3, 5, 7], 210);
     scalar_test!(min_takes_minimum, Min, vec![5, -3, 9, 0], -3);
     scalar_test!(max_takes_maximum, Max, vec![5, -3, 9, 0], 9);
-    scalar_test!(opand_intersects, OpAnd, vec![0b1110, 0b0111, 0b1111], 0b0110);
+    scalar_test!(
+        opand_intersects,
+        OpAnd,
+        vec![0b1110, 0b0111, 0b1111],
+        0b0110
+    );
     scalar_test!(opor_unions, OpOr, vec![0b0001, 0b0100], 0b0101);
     scalar_test!(opxor_xors, OpXor, vec![0b1100, 0b1010], 0b0110);
 

@@ -10,8 +10,7 @@
 
 use rader_cilk::{Ctx, Loc, Word};
 use rader_reducers::{HypervectorMonoid, Monoid, RedHandle};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rader_rng::Rng;
 
 use crate::{Scale, Workload};
 
@@ -28,7 +27,7 @@ pub struct Scene {
 
 /// Seeded scene generator (`size` controls object count ≈ `size²`).
 pub fn gen_scene(size: usize, seed: u64) -> Scene {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let n = size * size;
     let pos = (0..n)
         .map(|_| {
@@ -270,12 +269,10 @@ mod tests {
             collision_program(cx, &scene);
         });
         assert!(!r.has_races(), "{r}");
-        let r = rader.check_determinacy(
-            StealSpec::EveryBlock(BlockScript::steals(vec![1])),
-            |cx| {
+        let r =
+            rader.check_determinacy(StealSpec::EveryBlock(BlockScript::steals(vec![1])), |cx| {
                 collision_program(cx, &scene);
-            },
-        );
+            });
         assert!(!r.has_races(), "{r}");
     }
 }

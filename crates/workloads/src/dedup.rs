@@ -18,8 +18,7 @@
 use rader_cilk::{Ctx, Loc, Word};
 use rader_dsu::fxhash::hash_pair;
 use rader_reducers::{Monoid, OstreamMonoid, RedHandle};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rader_rng::Rng;
 
 use crate::{Scale, Workload};
 
@@ -31,9 +30,18 @@ pub struct Stream {
 }
 
 /// Seeded stream generator: `blocks` blocks of 64 words drawn from a
-/// small pool of repeated patterns (≈ 60% redundancy) plus fresh noise.
+/// small pool of repeated patterns (≈ 60% block-level redundancy) plus
+/// fresh noise, followed by verbatim repeats of earlier *chunks*.
+///
+/// Pool repetition alone does not guarantee duplicate chunks: the
+/// content-defined chunker rarely aligns a boundary with a 64-word block
+/// edge, so repeated blocks usually land in distinct chunks. Chunking is
+/// deterministic from a boundary (the rolling hash resets), so the tail
+/// phase truncates the stream at its last boundary and re-appends a few
+/// earlier chunks word-for-word — each reproduces its chunk exactly and
+/// dedups to a `REF` record for every seed.
 pub fn gen_stream(blocks: usize, seed: u64) -> Stream {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let pool: Vec<Vec<Word>> = (0..8)
         .map(|_| (0..64).map(|_| rng.gen_range(0..256)).collect())
         .collect();
@@ -43,6 +51,19 @@ pub fn gen_stream(blocks: usize, seed: u64) -> Stream {
             data.extend_from_slice(&pool[rng.gen_range(0..pool.len())]);
         } else {
             data.extend((0..64).map(|_| rng.gen_range(0..256)));
+        }
+    }
+    let bounds = chunk_boundaries(&data);
+    if bounds.len() > 2 {
+        // Drop the final chunk (it may be an unterminated tail), leaving
+        // the stream ending exactly at a boundary.
+        let cut = bounds[bounds.len() - 1].0;
+        data.truncate(cut);
+        let dups = (blocks / 8).max(2);
+        for _ in 0..dups {
+            let (s, e) = bounds[rng.gen_range(0..bounds.len() - 1)];
+            let chunk: Vec<Word> = data[s..e].to_vec();
+            data.extend(chunk);
         }
     }
     Stream { data }
@@ -317,12 +338,10 @@ mod tests {
             dedup_program(cx, &input);
         });
         assert!(!r.has_races(), "{r}");
-        let r = rader.check_determinacy(
-            StealSpec::EveryBlock(BlockScript::steals(vec![1])),
-            |cx| {
+        let r =
+            rader.check_determinacy(StealSpec::EveryBlock(BlockScript::steals(vec![1])), |cx| {
                 dedup_program(cx, &input);
-            },
-        );
+            });
         assert!(!r.has_races(), "{r}");
     }
 }

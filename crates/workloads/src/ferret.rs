@@ -12,8 +12,7 @@
 
 use rader_cilk::{Ctx, Loc, Word};
 use rader_reducers::{ArgMax, Monoid, OstreamMonoid, RedHandle};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rader_rng::Rng;
 
 use crate::{Scale, Workload};
 
@@ -34,8 +33,8 @@ pub struct Corpus {
 /// Seeded corpus generator; some images are noisy copies of queries so
 /// hits exist.
 pub fn gen_corpus(n: usize, nqueries: usize, seed: u64) -> Corpus {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let gen_vec = |rng: &mut StdRng| {
+    let mut rng = Rng::seed_from_u64(seed);
+    let gen_vec = |rng: &mut Rng| {
         let mut v = [0i64; DIM];
         for x in v.iter_mut() {
             *x = rng.gen_range(-8..=8);
@@ -212,12 +211,10 @@ mod tests {
             ferret_program(cx, &corpus);
         });
         assert!(!r.has_races(), "{r}");
-        let r = rader.check_determinacy(
-            StealSpec::EveryBlock(BlockScript::steals(vec![1])),
-            |cx| {
+        let r =
+            rader.check_determinacy(StealSpec::EveryBlock(BlockScript::steals(vec![1])), |cx| {
                 ferret_program(cx, &corpus);
-            },
-        );
+            });
         assert!(!r.has_races(), "{r}");
     }
 }

@@ -99,12 +99,10 @@ mod tests {
             fib_program(cx, 10);
         });
         assert!(!r.has_races(), "{r}");
-        let r = rader.check_determinacy(
-            StealSpec::EveryBlock(BlockScript::steals(vec![1])),
-            |cx| {
+        let r =
+            rader.check_determinacy(StealSpec::EveryBlock(BlockScript::steals(vec![1])), |cx| {
                 fib_program(cx, 10);
-            },
-        );
+            });
         assert!(!r.has_races(), "{r}");
     }
 }

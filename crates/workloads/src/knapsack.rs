@@ -10,8 +10,7 @@
 
 use rader_cilk::{Ctx, Loc, Word};
 use rader_reducers::{ArgMax, Monoid, RedHandle};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rader_rng::Rng;
 
 use crate::{Scale, Workload};
 
@@ -28,7 +27,7 @@ pub struct Instance {
 
 /// Seeded instance generator.
 pub fn gen_instance(n: usize, seed: u64) -> Instance {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let weights: Vec<Word> = (0..n).map(|_| rng.gen_range(1..20)).collect();
     let values: Vec<Word> = (0..n).map(|_| rng.gen_range(1..30)).collect();
     let capacity = weights.iter().sum::<Word>() / 3;
@@ -238,12 +237,10 @@ mod tests {
             knapsack_program(cx, &inst);
         });
         assert!(!r.has_races(), "{r}");
-        let r = rader.check_determinacy(
-            StealSpec::EveryBlock(BlockScript::steals(vec![1])),
-            |cx| {
+        let r =
+            rader.check_determinacy(StealSpec::EveryBlock(BlockScript::steals(vec![1])), |cx| {
                 knapsack_program(cx, &inst);
-            },
-        );
+            });
         assert!(!r.has_races(), "{r}");
     }
 

@@ -11,8 +11,7 @@
 
 use rader_cilk::{Ctx, Loc, Word};
 use rader_reducers::{BagMonoid, Monoid, RedHandle};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rader_rng::Rng;
 
 use crate::{Scale, Workload};
 
@@ -43,7 +42,7 @@ impl Graph {
 /// Seeded random graph: `n` vertices, ~`deg` out-edges each, plus a
 /// Hamiltonian-ish backbone so BFS reaches everything.
 pub fn gen_graph(n: usize, deg: usize, seed: u64) -> Graph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut adj: Vec<Vec<u32>> = vec![Vec::with_capacity(deg + 1); n];
     for (v, a) in adj.iter_mut().enumerate() {
         a.push(((v + 1) % n) as u32); // backbone
@@ -283,12 +282,10 @@ mod tests {
             pbfs_program(cx, &g, 0);
         });
         assert!(!r.has_races(), "{r}");
-        let r = rader.check_determinacy(
-            StealSpec::EveryBlock(BlockScript::steals(vec![1])),
-            |cx| {
+        let r =
+            rader.check_determinacy(StealSpec::EveryBlock(BlockScript::steals(vec![1])), |cx| {
                 pbfs_program(cx, &g, 0);
-            },
-        );
+            });
         assert!(!r.has_races(), "{r}");
     }
 

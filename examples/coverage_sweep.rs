@@ -17,7 +17,10 @@ fn main() {
     // Theorem 7: distinct reduce operations elicited on a K-spawn block.
     // ------------------------------------------------------------------
     println!("Theorem 7 — reduce-op coverage on a flat K-spawn sync block");
-    println!("{:>4} {:>8} {:>14} {:>12}", "K", "specs", "elicited ops", "C(K,3)");
+    println!(
+        "{:>4} {:>8} {:>14} {:>12}",
+        "K", "specs", "elicited ops", "C(K,3)"
+    );
     for k in [3u32, 4, 5, 6, 8] {
         let specs = reduce_coverage_specs(k);
         let (distinct, nspecs) = count_elicited_reduce_ops(k, &specs);

@@ -44,6 +44,7 @@ pub use rader_core as core;
 pub use rader_dag as dag;
 pub use rader_dsu as dsu;
 pub use rader_reducers as reducers;
+pub use rader_rng as rng;
 pub use rader_workloads as workloads;
 
 /// Convenience re-exports for writing and checking programs.
@@ -52,7 +53,7 @@ pub mod prelude {
         par::ParRuntime, Ctx, EmptyTool, Loc, SerialEngine, StealSpec, Tool, Word,
     };
     pub use rader_core::{
-        coverage, peerset::PeerSet, spbags::SpBags, spplus::SpPlus, Rader, RaceReport,
+        coverage, peerset::PeerSet, spbags::SpBags, spplus::SpPlus, RaceReport, Rader,
     };
     pub use rader_reducers::{
         BagMonoid, ListMonoid, Max, Min, Monoid, OpAdd, OpMul, OstreamMonoid, RedHandle,

@@ -1,0 +1,102 @@
+//! Parallel-runtime smoke test: the `parallel_reducers` example's
+//! programs, run at 1, 2, and 8 workers, must produce exactly the values
+//! the serial engine produces — the determinism contract the std-only
+//! work-stealing runtime has to uphold (fresh view per steal, reduces in
+//! serial fold order).
+
+use std::sync::Arc;
+
+use rader::cilk::par::ParRuntime;
+use rader::cilk::synth::HashConcat;
+use rader::cilk::{Ctx, SerialEngine, Word};
+use rader::reducers::{ListMonoid, Monoid, OpAdd};
+
+const WORKERS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn ordered_list_appends_match_serial_engine() {
+    // Serial reference.
+    let mut serial = Vec::new();
+    SerialEngine::new().run(|cx: &mut Ctx<'_>| {
+        let list = ListMonoid::register(cx);
+        for i in 0..64 {
+            cx.spawn(move |cx| list.push_back(cx, i));
+        }
+        cx.sync();
+        serial = list.to_vec(cx);
+    });
+    assert_eq!(serial, (0..64).collect::<Vec<Word>>());
+
+    for workers in WORKERS {
+        let rt = ParRuntime::new(workers);
+        let (_stats, out) = rt.run(move |cx| {
+            let list = ListMonoid::register(cx);
+            for i in 0..64 {
+                cx.spawn(move |cx| list.push_back(cx, i));
+            }
+            cx.sync();
+            list.to_vec(cx)
+        });
+        assert_eq!(out, serial, "{workers} workers");
+    }
+}
+
+#[test]
+fn order_sensitive_fold_matches_serial_engine() {
+    let ops: Vec<Word> = (1..=128).collect();
+    let expect = HashConcat::reference(&ops);
+
+    // The serial engine agrees with the plain-Rust reference...
+    let mut serial = 0;
+    let serial_ops = ops.clone();
+    SerialEngine::new().run(|cx: &mut Ctx<'_>| {
+        let h = cx.new_reducer(Arc::new(HashConcat));
+        for &x in &serial_ops {
+            cx.spawn(move |cx| cx.reducer_update(h, &[x]));
+        }
+        cx.sync();
+        let v = cx.reducer_get_view(h);
+        serial = cx.read(v.at(1));
+    });
+    assert_eq!(serial, expect);
+
+    // ...and every worker count agrees with the serial engine, across
+    // repeated runs (real schedules differ; the fold order must not).
+    for workers in WORKERS {
+        for trial in 0..3 {
+            let ops = ops.clone();
+            let rt = ParRuntime::new(workers);
+            let (_s, got) = rt.run(move |cx| {
+                let h = cx.new_reducer(Arc::new(HashConcat));
+                for &x in &ops {
+                    cx.spawn(move |cx| cx.reducer_update(h, &[x]));
+                }
+                cx.sync();
+                let v = cx.reducer_get_view(h);
+                cx.read(v.at(1))
+            });
+            assert_eq!(got, expect, "{workers} workers, trial {trial}");
+        }
+    }
+}
+
+#[test]
+fn reducer_counter_is_exact_at_every_worker_count() {
+    let mut serial = 0;
+    SerialEngine::new().run(|cx: &mut Ctx<'_>| {
+        let sum = OpAdd::register(cx);
+        cx.par_for(0..512, 1, &mut |cx, _| sum.add(cx, 1));
+        serial = sum.get(cx);
+    });
+    assert_eq!(serial, 512);
+
+    for workers in WORKERS {
+        let rt = ParRuntime::new(workers);
+        let (_s, v) = rt.run(|cx| {
+            let sum = OpAdd::register(cx);
+            cx.par_for(0..512, 1, move |cx, _| sum.add(cx, 1));
+            sum.get(cx)
+        });
+        assert_eq!(v, serial, "{workers} workers");
+    }
+}

@@ -14,6 +14,9 @@ cargo test -q --offline --workspace
 echo "== bench targets compile (offline) =="
 cargo check -q --offline --workspace --benches
 
+echo "== bench smoke: engine runs end to end (offline, 1 sample) =="
+cargo bench -q --offline -p rader-bench --bench engine -- --samples 1 --warmup 0
+
 if cargo fmt --version >/dev/null 2>&1; then
     echo "== rustfmt =="
     cargo fmt --all --check

@@ -110,6 +110,7 @@ pub fn to_json(results: &[Measurement]) -> String {
 /// The harness: collects measurements across groups, prints a line per
 /// bench as it completes, and emits the summary (and optional JSON) at
 /// [`Harness::finish`].
+#[derive(Debug)]
 pub struct Harness {
     bench_name: &'static str,
     filter: Option<String>,
@@ -133,29 +134,51 @@ impl Harness {
     }
 
     /// Parse harness knobs from `std::env::args` (see module docs).
+    /// A malformed invocation — `--json` without a path, or a
+    /// `--samples`/`--warmup` value that is missing or not a number —
+    /// prints the error and exits nonzero rather than silently running
+    /// with defaults (a bench that "ran" but wrote no JSON is worse than
+    /// one that fails loudly).
     pub fn from_args(bench_name: &'static str) -> Self {
+        match Self::parse_args(bench_name, std::env::args().skip(1)) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("{bench_name}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// [`Harness::from_args`] with the argument source and error channel
+    /// made explicit, for testing and embedding.
+    pub fn parse_args(
+        bench_name: &'static str,
+        args: impl IntoIterator<Item = String>,
+    ) -> Result<Self, String> {
         let mut h = Harness::new(bench_name);
-        let mut args = std::env::args().skip(1);
+        let mut args = args.into_iter();
+        let count_arg = |flag: &str, v: Option<String>| -> Result<usize, String> {
+            let v = v.ok_or_else(|| format!("{flag} requires a value"))?;
+            v.parse()
+                .map_err(|_| format!("{flag} value {v:?} is not a non-negative integer"))
+        };
         while let Some(a) = args.next() {
             match a.as_str() {
                 // Flags cargo-bench passes through to every target.
                 "--bench" | "--exact" => {}
-                "--samples" => {
-                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
-                        h.samples = 1usize.max(v);
-                    }
+                "--samples" => h.samples = count_arg("--samples", args.next())?.max(1),
+                "--warmup" => h.warmup = count_arg("--warmup", args.next())?,
+                "--json" => {
+                    h.json = Some(
+                        args.next()
+                            .ok_or_else(|| "--json requires a file path".to_string())?,
+                    )
                 }
-                "--warmup" => {
-                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
-                        h.warmup = v;
-                    }
-                }
-                "--json" => h.json = args.next(),
                 other if !other.starts_with('-') => h.filter = Some(other.to_string()),
                 _ => {}
             }
         }
-        h
+        Ok(h)
     }
 
     /// Open a bench group; measurements record under `name/label`.
@@ -297,6 +320,48 @@ mod tests {
         assert_eq!(runs, 4); // 1 warmup + 3 samples
         assert_eq!(skipped, 0);
         assert_eq!(h.results()[0].samples, 3);
+    }
+
+    fn parse(args: &[&str]) -> Result<Harness, String> {
+        Harness::parse_args("test", args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parse_args_accepts_well_formed_invocations() {
+        let h = parse(&[
+            "--samples",
+            "25",
+            "--warmup",
+            "0",
+            "--json",
+            "out.json",
+            "sweep",
+        ])
+        .unwrap();
+        assert_eq!(h.samples, 25);
+        assert_eq!(h.warmup, 0);
+        assert_eq!(h.json.as_deref(), Some("out.json"));
+        assert_eq!(h.filter.as_deref(), Some("sweep"));
+        // cargo-bench passthrough flags and unknown dashed flags are
+        // still ignored.
+        let h = parse(&["--bench", "--exact", "--nocapture"]).unwrap();
+        assert_eq!(h.samples, 10);
+        // --samples 0 clamps to 1 rather than erroring.
+        assert_eq!(parse(&["--samples", "0"]).unwrap().samples, 1);
+    }
+
+    #[test]
+    fn parse_args_rejects_malformed_invocations() {
+        let err = parse(&["--json"]).unwrap_err();
+        assert!(err.contains("--json requires a file path"), "{err}");
+        let err = parse(&["--samples"]).unwrap_err();
+        assert!(err.contains("--samples requires a value"), "{err}");
+        let err = parse(&["--samples", "ten"]).unwrap_err();
+        assert!(err.contains("\"ten\""), "{err}");
+        let err = parse(&["--warmup", "-3"]).unwrap_err();
+        assert!(err.contains("--warmup"), "{err}");
+        // Any next token is taken as the path, even a dashed one.
+        assert!(parse(&["--json", "--weird.json"]).is_ok());
     }
 
     #[test]

@@ -36,6 +36,7 @@ use rader_dsu::ViewId;
 use crate::events::{AccessKind, EnterKind, FrameId, ReducerId, ReducerReadKind, StrandId, Tool};
 use crate::mem::{Loc, MemArena, Word};
 use crate::monoid::{MemBackend, ViewMem, ViewMonoid};
+use crate::replay::{ProgramTrace, ReplayError, TraceBuilder, TraceEvent};
 use crate::spec::{BlockOp, BlockScript, StealSpec};
 
 /// Execution statistics returned by a run.
@@ -119,6 +120,8 @@ pub struct Ctx<'t> {
     strand: u64,
     block_seq: u64,
     stats: RunStats,
+    /// Active while [`ProgramTrace::record`] is capturing this run.
+    recorder: Option<TraceBuilder>,
 }
 
 impl<'t> Ctx<'t> {
@@ -142,6 +145,15 @@ impl<'t> Ctx<'t> {
             strand: 0,
             block_seq: 0,
             stats: RunStats::default(),
+            recorder: None,
+        }
+    }
+
+    /// Record a user-level event if a trace recording is active.
+    #[inline]
+    fn record(&mut self, ev: TraceEvent) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.push(ev);
         }
     }
 
@@ -174,7 +186,8 @@ impl<'t> Ctx<'t> {
     // Parallel control
     // ------------------------------------------------------------------
 
-    fn enter_frame(&mut self, kind: EnterKind) {
+    pub(crate) fn enter_frame(&mut self, kind: EnterKind) {
+        self.record(TraceEvent::FrameEnter(kind));
         let (anc, epoch_base) = match self.frames.last_mut() {
             Some(parent) => {
                 if kind == EnterKind::Spawn {
@@ -208,7 +221,8 @@ impl<'t> Ctx<'t> {
         self.cur_frame = id;
     }
 
-    fn leave_frame(&mut self) {
+    pub(crate) fn leave_frame(&mut self) {
+        self.record(TraceEvent::FrameLeave);
         self.sync_internal();
         let f = self.frames.pop().expect("leave_frame with empty stack");
         if let ToolRef::Dyn(t) = &mut self.tool {
@@ -241,6 +255,10 @@ impl<'t> Ctx<'t> {
     /// Sync: all functions spawned by the current frame have returned and
     /// all parallel views created in this sync block have been reduced.
     pub fn sync(&mut self) {
+        // Recorded here, not in `sync_internal`: a replayed `FrameLeave`
+        // performs its own implicit sync, so recording the internal one
+        // would sync twice.
+        self.record(TraceEvent::Sync);
         self.sync_internal();
     }
 
@@ -249,6 +267,9 @@ impl<'t> Ctx<'t> {
     /// a finding reads "write in `update_list`" instead of a bare frame
     /// number — Rader's regression-friendly reporting.
     pub fn label_frame(&mut self, label: &'static str) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.push_label(label);
+        }
         let id = self.cur_frame;
         if let ToolRef::Dyn(t) = &mut self.tool {
             t.frame_label(id, label);
@@ -400,12 +421,26 @@ impl<'t> Ctx<'t> {
     /// Allocate `n` zero-initialized words of simulated shared memory.
     #[inline]
     pub fn alloc(&mut self, n: usize) -> Loc {
-        self.mem.alloc(n)
+        let base = self.mem.alloc(n);
+        // Only user-level (view-oblivious) allocations are recorded; the
+        // monoid allocations of `create_identity` / `update` / `reduce`
+        // re-execute for real during replay.
+        if let Some(rec) = self.recorder.as_mut() {
+            if self.region == AccessKind::Oblivious {
+                rec.push_alloc(base, n as u32);
+            }
+        }
+        base
     }
 
     /// Instrumented read of `loc`.
     #[inline]
     pub fn read(&mut self, loc: Loc) -> Word {
+        if let Some(rec) = self.recorder.as_mut() {
+            if self.region == AccessKind::Oblivious {
+                rec.push_read(loc);
+            }
+        }
         self.stats.reads += 1;
         if let ToolRef::Dyn(t) = &mut self.tool {
             t.read(self.cur_frame, StrandId(self.strand), loc, self.region);
@@ -416,6 +451,11 @@ impl<'t> Ctx<'t> {
     /// Instrumented write of `loc`.
     #[inline]
     pub fn write(&mut self, loc: Loc, v: Word) {
+        if let Some(rec) = self.recorder.as_mut() {
+            if self.region == AccessKind::Oblivious {
+                rec.push_write(loc, v);
+            }
+        }
         self.stats.writes += 1;
         if let ToolRef::Dyn(t) = &mut self.tool {
             t.write(self.cur_frame, StrandId(self.strand), loc, self.region);
@@ -444,6 +484,9 @@ impl<'t> Ctx<'t> {
     /// Creation is a *reducer-read* for the purposes of view-read-race
     /// detection (paper, Section 3).
     pub fn new_reducer(&mut self, monoid: Arc<dyn ViewMonoid>) -> ReducerId {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.push_new_reducer(monoid.clone());
+        }
         let h = ReducerId(self.reducers.len() as u32);
         self.reducers.push(ReducerState {
             monoid,
@@ -464,6 +507,9 @@ impl<'t> Ctx<'t> {
     /// Apply one update operation to reducer `h`'s current view,
     /// materializing an identity view first if the current epoch has none.
     pub fn reducer_update(&mut self, h: ReducerId, op: &[Word]) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.push_update(h, op);
+        }
         self.stats.updates += 1;
         let view = self.ensure_view(h);
         let m = self.reducers[h.index()].monoid.clone();
@@ -488,12 +534,19 @@ impl<'t> Ctx<'t> {
                 ReducerReadKind::Get,
             );
         }
-        self.ensure_view(h)
+        let result = self.ensure_view(h);
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.push_get_view(h, result);
+        }
+        result
     }
 
     /// `set_value`: make `loc` the current view of reducer `h`
     /// (a reducer-read). Any existing view of the current epoch is dropped.
     pub fn reducer_set_view(&mut self, h: ReducerId, loc: Loc) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.push_set_view(h, loc);
+        }
         self.stats.reducer_reads += 1;
         if let ToolRef::Dyn(t) = &mut self.tool {
             t.reducer_read(
@@ -630,6 +683,67 @@ impl SerialEngine {
         cx.leave_frame();
         cx.stats()
     }
+
+    /// Replay a recorded trace with *no* instrumentation under this
+    /// engine's steal specification. See [`ProgramTrace`].
+    pub fn replay(&self, trace: &ProgramTrace) -> Result<RunStats, ReplayError> {
+        self.replay_inner(ToolRef::None, trace)
+    }
+
+    /// Replay a recorded trace with `tool` attached, under this engine's
+    /// steal specification. The tool observes the same instrumentation
+    /// stream a fresh [`SerialEngine::run_tool`] of the original program
+    /// would produce (monoid bodies execute for real; user closures do
+    /// not re-run). Errors identify (program, spec) pairs that need
+    /// honest re-execution — see [`ReplayError`].
+    pub fn replay_tool(
+        &self,
+        tool: &mut dyn Tool,
+        trace: &ProgramTrace,
+    ) -> Result<RunStats, ReplayError> {
+        self.replay_inner(ToolRef::Dyn(tool), trace)
+    }
+
+    fn replay_inner(
+        &self,
+        tool: ToolRef<'_>,
+        trace: &ProgramTrace,
+    ) -> Result<RunStats, ReplayError> {
+        let mut cx = Ctx::new(self.spec.clone(), tool);
+        crate::replay::drive(&mut cx, trace)?;
+        Ok(cx.stats())
+    }
+}
+
+/// Record `program` under the no-steal schedule (implementation of
+/// [`ProgramTrace::record`]; the root frame's enter/leave are part of the
+/// trace, so replay is a plain event walk). An attached tool observes the
+/// run exactly as [`SerialEngine::run_tool`] would show it — recording is
+/// a passive extra hook — so the recording run can double as a sweep's
+/// no-steal detection run.
+pub(crate) fn record_trace(program: impl FnOnce(&mut Ctx<'_>)) -> ProgramTrace {
+    record_trace_inner(ToolRef::None, program)
+}
+
+/// [`record_trace`] with `tool` attached via dynamic dispatch.
+pub(crate) fn record_trace_tool(
+    tool: &mut dyn Tool,
+    program: impl FnOnce(&mut Ctx<'_>),
+) -> ProgramTrace {
+    record_trace_inner(ToolRef::Dyn(tool), program)
+}
+
+fn record_trace_inner(tool: ToolRef<'_>, program: impl FnOnce(&mut Ctx<'_>)) -> ProgramTrace {
+    let mut cx = Ctx::new(StealSpec::None, tool);
+    cx.recorder = Some(TraceBuilder::default());
+    cx.enter_frame(EnterKind::Root);
+    program(&mut cx);
+    cx.leave_frame();
+    let stats = cx.stats();
+    cx.recorder
+        .take()
+        .expect("recorder detached mid-run")
+        .finish(stats)
 }
 
 #[cfg(test)]

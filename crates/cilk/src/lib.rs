@@ -33,6 +33,7 @@ pub mod events;
 pub mod mem;
 pub mod monoid;
 pub mod par;
+pub mod replay;
 pub mod spec;
 pub mod synth;
 
@@ -43,6 +44,7 @@ pub use events::{
 };
 pub use mem::{Loc, MemArena, Word};
 pub use monoid::{MemBackend, ViewMem, ViewMonoid};
+pub use replay::{ProgramTrace, ReplayError};
 pub use spec::{BlockOp, BlockScript, StealSpec};
 
 pub use rader_dsu::ViewId;

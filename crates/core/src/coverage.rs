@@ -23,10 +23,11 @@
 use std::sync::{Arc, Mutex};
 
 use rader_cilk::{
-    BlockOp, BlockScript, Ctx, Loc, SerialEngine, StealSpec, ViewMem, ViewMonoid, Word,
+    BlockOp, BlockScript, Ctx, Loc, ProgramTrace, RunStats, SerialEngine, StealSpec, ViewMem,
+    ViewMonoid, Word,
 };
 
-use crate::report::RaceReport;
+use crate::report::{RaceReport, ReportMerger};
 use crate::spplus::SpPlus;
 
 /// Theorem 6 family: one spec per spawn count `1..=max_spawn_count`.
@@ -73,6 +74,13 @@ pub struct CoverageOptions {
     pub max_k: Option<u32>,
     /// Cap on the spawn count swept by the update family.
     pub max_spawn_count: Option<u32>,
+    /// Record the program once and replay its trace under every
+    /// specification instead of re-executing the user closures per run
+    /// (sound for ostensibly deterministic programs; specs whose replay
+    /// diverges — e.g. a schedule-dependent aliased `get_view` — fall
+    /// back to honest re-execution automatically). `false` forces
+    /// re-execution for every run.
+    pub replay: bool,
 }
 
 impl Default for CoverageOptions {
@@ -82,8 +90,55 @@ impl Default for CoverageOptions {
             reduces: true,
             max_k: None,
             max_spawn_count: None,
+            replay: true,
         }
     }
+}
+
+/// Build the Section-7 specification list (no-steal base case plus the
+/// enabled Theorem-6/7 families) from a run's measured statistics,
+/// applying the option caps. Returns `(specs, k, m)`.
+fn plan_specs(stats: &RunStats, opts: &CoverageOptions) -> (Vec<StealSpec>, u32, u32) {
+    let k = opts
+        .max_k
+        .unwrap_or(stats.max_sync_block)
+        .min(stats.max_sync_block);
+    let m = opts
+        .max_spawn_count
+        .unwrap_or(stats.max_spawn_count)
+        .min(stats.max_spawn_count);
+    let mut specs = vec![StealSpec::None];
+    if opts.updates {
+        specs.extend(update_coverage_specs(m));
+    }
+    if opts.reduces {
+        specs.extend(reduce_coverage_specs(k));
+    }
+    (specs, k, m)
+}
+
+/// Run SP+ under one specification, preferring trace replay when a trace
+/// is available and falling back to re-executing the program if replay
+/// reports divergence. Returns the report and whether replay served it.
+fn sweep_one(
+    program: &(impl Fn(&mut Ctx<'_>) + Sync),
+    trace: Option<&ProgramTrace>,
+    spec: &StealSpec,
+) -> (RaceReport, bool) {
+    if let Some(trace) = trace {
+        let mut tool = SpPlus::new();
+        if SerialEngine::with_spec(spec.clone())
+            .replay_tool(&mut tool, trace)
+            .is_ok()
+        {
+            return (tool.into_report(), true);
+        }
+        // Divergence: this spec's schedule makes the recorded stream
+        // unreliable (see `rader_cilk::replay`); re-execute honestly.
+    }
+    let mut tool = SpPlus::new();
+    SerialEngine::with_spec(spec.clone()).run_tool(&mut tool, program);
+    (tool.into_report(), false)
 }
 
 /// Result of an exhaustive SP+ sweep.
@@ -99,6 +154,12 @@ pub struct ExhaustiveReport {
     pub findings: Vec<(StealSpec, RaceReport)>,
     /// Number of SP+ runs performed.
     pub runs: usize,
+    /// How many of those runs the trace served without an extra execution
+    /// of the program: the no-steal run that doubled as the record pass,
+    /// plus every replay-served run. The rest re-executed the program —
+    /// all of them under `CoverageOptions { replay: false, .. }`, or the
+    /// per-spec fallback runs taken when replay detected divergence.
+    pub replayed: usize,
     /// Measured maximum sync-block size `K`.
     pub k: u32,
     /// Measured maximum spawn count `M`.
@@ -122,48 +183,14 @@ impl ExhaustiveReport {
 ///
 /// The program must be re-runnable (`Fn`), deterministic in its
 /// view-oblivious part, and use only associative reduces — the paper's
-/// "ostensibly deterministic" precondition.
+/// "ostensibly deterministic" precondition. By default the program is
+/// recorded once and the sweep replays its [`ProgramTrace`] under each
+/// specification (see [`CoverageOptions::replay`]).
 pub fn exhaustive_check(
-    program: impl Fn(&mut Ctx<'_>),
+    program: impl Fn(&mut Ctx<'_>) + Sync,
     opts: &CoverageOptions,
 ) -> ExhaustiveReport {
-    // Measure K and M with an uninstrumented run.
-    let stats = SerialEngine::new().run(&program);
-    let k = opts
-        .max_k
-        .unwrap_or(stats.max_sync_block)
-        .min(stats.max_sync_block);
-    let m = opts
-        .max_spawn_count
-        .unwrap_or(stats.max_spawn_count)
-        .min(stats.max_spawn_count);
-
-    let mut specs = vec![StealSpec::None];
-    if opts.updates {
-        specs.extend(update_coverage_specs(m));
-    }
-    if opts.reduces {
-        specs.extend(reduce_coverage_specs(k));
-    }
-
-    let mut report = RaceReport::default();
-    let mut findings = Vec::new();
-    let runs = specs.len();
-    for spec in specs {
-        let mut tool = SpPlus::new();
-        SerialEngine::with_spec(spec.clone()).run_tool(&mut tool, &program);
-        if tool.report().has_races() {
-            findings.push((spec, tool.report().clone()));
-        }
-        report.merge(tool.report());
-    }
-    ExhaustiveReport {
-        report,
-        findings,
-        runs,
-        k,
-        m,
-    }
+    exhaustive_check_parallel(program, opts, 1)
 }
 
 /// As [`exhaustive_check`], but running the independent SP+ sweeps on
@@ -175,60 +202,70 @@ pub fn exhaustive_check_parallel(
     opts: &CoverageOptions,
     threads: usize,
 ) -> ExhaustiveReport {
-    let stats = SerialEngine::new().run(&program);
-    let k = opts
-        .max_k
-        .unwrap_or(stats.max_sync_block)
-        .min(stats.max_sync_block);
-    let m = opts
-        .max_spawn_count
-        .unwrap_or(stats.max_spawn_count)
-        .min(stats.max_spawn_count);
-    let mut specs = vec![StealSpec::None];
-    if opts.updates {
-        specs.extend(update_coverage_specs(m));
-    }
-    if opts.reduces {
-        specs.extend(reduce_coverage_specs(k));
-    }
+    // Every sweep starts with the no-steal specification, and recording
+    // happens under the no-steal schedule — so in replay mode the record
+    // pass *is* the first detection run (the recorder is a passive extra
+    // hook on an ordinary SP+ run). With replay disabled, a plain
+    // uninstrumented run measures K and M for spec planning instead; it
+    // is not counted in `runs`.
+    let (trace, stats, base) = if opts.replay {
+        let mut tool = SpPlus::new();
+        let trace = ProgramTrace::record_with_tool(&mut tool, &program);
+        let stats = *trace.stats();
+        (Some(trace), stats, Some(tool.into_report()))
+    } else {
+        (None, SerialEngine::new().run(&program), None)
+    };
+    let (specs, k, m) = plan_specs(&stats, opts);
     let runs = specs.len();
     let threads = threads.max(1).min(runs.max(1));
-    let results: Vec<(usize, RaceReport)> = std::thread::scope(|scope| {
+    let results: Vec<(usize, RaceReport, bool)> = std::thread::scope(|scope| {
         let program = &program;
         let specs = &specs;
+        let trace = trace.as_ref();
+        // Index 0 (StealSpec::None) is already served when the record
+        // pass ran as the first detection run.
+        let first = base.is_some() as usize;
         let mut handles = Vec::new();
         for t in 0..threads {
             handles.push(scope.spawn(move || {
                 let mut local = Vec::new();
-                let mut i = t;
+                let mut i = first + t;
                 while i < specs.len() {
-                    let mut tool = SpPlus::new();
-                    SerialEngine::with_spec(specs[i].clone()).run_tool(&mut tool, program);
-                    local.push((i, tool.into_report()));
+                    let (report, replayed) = sweep_one(program, trace, &specs[i]);
+                    local.push((i, report, replayed));
                     i += threads;
                 }
                 local
             }));
         }
-        let mut all: Vec<(usize, RaceReport)> = handles
+        let mut all: Vec<(usize, RaceReport, bool)> = handles
             .into_iter()
             .flat_map(|h| h.join().unwrap())
             .collect();
-        all.sort_by_key(|(i, _)| *i);
+        if let Some(report) = base {
+            all.push((0, report, true));
+        }
+        all.sort_by_key(|(i, _, _)| *i);
         all
     });
-    let mut report = RaceReport::default();
+    let mut merger = ReportMerger::new();
     let mut findings = Vec::new();
-    for (i, r) in results {
+    let mut replayed = 0;
+    for (i, r, via_replay) in results {
+        if via_replay {
+            replayed += 1;
+        }
         if r.has_races() {
             findings.push((specs[i].clone(), r.clone()));
         }
-        report.merge(&r);
+        merger.merge(&r);
     }
     ExhaustiveReport {
-        report,
+        report: merger.finish(),
         findings,
         runs,
+        replayed,
         k,
         m,
     }
@@ -242,9 +279,18 @@ pub fn exhaustive_check_parallel(
 /// Returns the input unchanged for non-`EveryBlock` specifications or if
 /// the specification exposes no race to begin with.
 pub fn minimize_spec(program: impl Fn(&mut Ctx<'_>), spec: &StealSpec) -> StealSpec {
+    // ddmin probes many candidate specs on one fixed program: record
+    // once, replay per candidate, re-execute only on divergence.
+    let trace = ProgramTrace::record(&program);
     let racy_under = |candidate: &StealSpec| {
         let mut tool = SpPlus::new();
-        SerialEngine::with_spec(candidate.clone()).run_tool(&mut tool, &program);
+        if SerialEngine::with_spec(candidate.clone())
+            .replay_tool(&mut tool, &trace)
+            .is_err()
+        {
+            tool = SpPlus::new();
+            SerialEngine::with_spec(candidate.clone()).run_tool(&mut tool, &program);
+        }
         tool.report().racy_locs()
     };
     let target = racy_under(spec);
@@ -532,6 +578,56 @@ mod tests {
             &spec,
         );
         assert_eq!(minimized, spec);
+    }
+
+    #[test]
+    fn replay_and_reexecute_sweeps_agree() {
+        use std::sync::Arc as StdArc;
+        // The Touchy program exercises the interesting case: its reduce
+        // (re-executed for real during replay) writes a user cell whose
+        // Loc was captured during the record run — valid at replay time
+        // because the arenas are address-identical.
+        struct Touchy {
+            cell: Loc,
+        }
+        impl ViewMonoid for Touchy {
+            fn create_identity(&self, m: &mut ViewMem<'_>) -> Loc {
+                m.alloc(1)
+            }
+            fn reduce(&self, m: &mut ViewMem<'_>, left: Loc, right: Loc) {
+                let r = m.read(right);
+                let l = m.read(left);
+                m.write(left, l + r);
+                m.write(self.cell, 1);
+            }
+            fn update(&self, m: &mut ViewMem<'_>, view: Loc, op: &[Word]) {
+                let v = m.read(view);
+                m.write(view, v + op[0]);
+            }
+        }
+        let program = move |cx: &mut Ctx<'_>| {
+            let cell = cx.alloc(1);
+            let h = cx.new_reducer(StdArc::new(Touchy { cell }));
+            cx.spawn(move |cx| cx.write(cell, 7));
+            cx.spawn(move |cx| cx.reducer_update(h, &[1]));
+            cx.reducer_update(h, &[2]);
+            cx.sync();
+        };
+        let via_replay = exhaustive_check(program, &CoverageOptions::default());
+        let via_rerun = exhaustive_check(
+            program,
+            &CoverageOptions {
+                replay: false,
+                ..CoverageOptions::default()
+            },
+        );
+        assert_eq!(via_replay.report, via_rerun.report);
+        assert_eq!(via_replay.findings, via_rerun.findings);
+        assert_eq!(via_replay.runs, via_rerun.runs);
+        assert_eq!((via_replay.k, via_replay.m), (via_rerun.k, via_rerun.m));
+        // Every run was served by replay; none with replay disabled.
+        assert_eq!(via_replay.replayed, via_replay.runs);
+        assert_eq!(via_rerun.replayed, 0);
     }
 
     #[test]

@@ -109,7 +109,7 @@ impl Rader {
     /// [`coverage::exhaustive_check`]).
     pub fn check_exhaustive(
         &self,
-        program: impl Fn(&mut Ctx<'_>),
+        program: impl Fn(&mut Ctx<'_>) + Sync,
         opts: &CoverageOptions,
     ) -> ExhaustiveReport {
         coverage::exhaustive_check(program, opts)

@@ -48,7 +48,7 @@ pub struct ViewReadRace {
 /// algorithms guarantee at least one race is reported per racy location
 /// if any exists; enumerating every racy pair is not meaningful under
 /// shadow-space compression).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RaceReport {
     /// Determinacy races, at most one per location, in detection order.
     pub determinacy: Vec<DeterminacyRace>,
@@ -83,24 +83,77 @@ impl RaceReport {
         }
     }
 
-    /// Merge another report into this one (used by the exhaustive driver),
-    /// keeping one race per location/reducer.
+    /// Merge another report into this one, keeping one race per
+    /// location/reducer.
+    ///
+    /// One-shot merges build their dedup sets on the fly; a driver
+    /// folding many reports (the exhaustive sweep) should use
+    /// [`ReportMerger`], which keeps the sets across calls instead of
+    /// rebuilding them per merge.
     pub fn merge(&mut self, other: &RaceReport) {
         self.frame_labels
             .extend(other.frame_labels.iter().map(|(k, v)| (*k, *v)));
-        let locs = self.racy_locs();
+        let mut locs = self.racy_locs();
         for r in &other.determinacy {
-            if !locs.contains(&r.loc) && !self.determinacy.iter().any(|x| x.loc == r.loc) {
+            if locs.insert(r.loc) {
                 self.determinacy.push(*r);
             }
         }
-        let reds = self.racy_reducers();
+        let mut reds = self.racy_reducers();
         for r in &other.view_read {
-            if !reds.contains(&r.reducer) && !self.view_read.iter().any(|x| x.reducer == r.reducer)
-            {
+            if reds.insert(r.reducer) {
                 self.view_read.push(*r);
             }
         }
+    }
+}
+
+/// Incrementally merges many [`RaceReport`]s, keeping one race per
+/// location/reducer.
+///
+/// The dedup index sets persist across [`ReportMerger::merge`] calls, so
+/// folding the reports of a Θ(M) + Θ(K³)-spec sweep costs
+/// O(total races · log races) instead of the O(runs · races²) that
+/// repeated set rebuilding plus linear scans used to cost.
+#[derive(Debug, Default)]
+pub struct ReportMerger {
+    report: RaceReport,
+    locs: std::collections::BTreeSet<Loc>,
+    reducers: std::collections::BTreeSet<ReducerId>,
+}
+
+impl ReportMerger {
+    /// An empty merger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold `other` in: first race per location/reducer wins, in merge
+    /// order (matching [`RaceReport::merge`] semantics exactly).
+    pub fn merge(&mut self, other: &RaceReport) {
+        self.report
+            .frame_labels
+            .extend(other.frame_labels.iter().map(|(k, v)| (*k, *v)));
+        for r in &other.determinacy {
+            if self.locs.insert(r.loc) {
+                self.report.determinacy.push(*r);
+            }
+        }
+        for r in &other.view_read {
+            if self.reducers.insert(r.reducer) {
+                self.report.view_read.push(*r);
+            }
+        }
+    }
+
+    /// The merged report so far.
+    pub fn report(&self) -> &RaceReport {
+        &self.report
+    }
+
+    /// Consume the merger, yielding the merged report.
+    pub fn finish(self) -> RaceReport {
+        self.report
     }
 }
 
@@ -172,6 +225,44 @@ mod tests {
             a.racy_locs().into_iter().collect::<Vec<_>>(),
             vec![Loc(1), Loc(2)]
         );
+    }
+
+    #[test]
+    fn merger_stays_one_race_per_loc_and_reducer() {
+        let vr = |red: u32| ViewReadRace {
+            reducer: ReducerId(red),
+            prior_frame: FrameId(0),
+            prior_strand: StrandId(0),
+            frame: FrameId(1),
+            strand: StrandId(1),
+        };
+        let mut merger = ReportMerger::new();
+        // Many overlapping reports, as an exhaustive sweep produces.
+        for round in 0..50u32 {
+            let mut r = RaceReport::default();
+            for loc in 0..10 {
+                r.determinacy.push(det(loc));
+                r.determinacy.push(det(loc + round % 3));
+            }
+            r.view_read.push(vr(round % 4));
+            merger.merge(&r);
+        }
+        let merged = merger.finish();
+        assert_eq!(merged.determinacy.len(), merged.racy_locs().len());
+        assert_eq!(merged.view_read.len(), merged.racy_reducers().len());
+        assert_eq!(merged.determinacy.len(), 12); // locs 0..10 plus 10, 11
+        assert_eq!(merged.view_read.len(), 4);
+
+        // And it agrees with the pairwise RaceReport::merge semantics.
+        let mut pairwise = RaceReport::default();
+        let mut again = ReportMerger::new();
+        for loc in [3u32, 1, 3, 2, 1] {
+            let mut r = RaceReport::default();
+            r.determinacy.push(det(loc));
+            pairwise.merge(&r);
+            again.merge(&r);
+        }
+        assert_eq!(pairwise, again.finish());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! rader suite [--paper]          run the 6 benchmarks under all detectors
 //! rader synth --seed N [--aliasing] [--dot]
 //!                                generate & exhaustively check a random program
-//! rader exhaustive               Section-7 sweep on Figure 1 with reproducer specs
+//! rader exhaustive [--reexecute] Section-7 sweep on Figure 1 with reproducer specs
 //! rader dot [--steals]           print the Figure-2 example dag as Graphviz
 //! ```
 
@@ -22,12 +22,12 @@ fn main() {
         "fig1" => cmd_fig1(),
         "suite" => cmd_suite(&args),
         "synth" => cmd_synth(&args),
-        "exhaustive" => cmd_exhaustive(),
+        "exhaustive" => cmd_exhaustive(&args),
         "dot" => cmd_dot(&args),
         _ => {
             eprintln!(
                 "usage: rader <fig1 | suite [--paper] | synth --seed N \
-                 [--aliasing] [--dot] | exhaustive | dot [--steals]>"
+                 [--aliasing] [--dot] | exhaustive [--reexecute] | dot [--steals]>"
             );
             std::process::exit(if cmd == "help" { 0 } else { 2 });
         }
@@ -133,16 +133,24 @@ fn cmd_synth(args: &[String]) {
     }
 }
 
-fn cmd_exhaustive() {
+fn cmd_exhaustive(args: &[String]) {
+    // --reexecute turns off the record-once/replay-many fast path and
+    // re-runs the user program for every steal specification instead.
+    let opts = CoverageOptions {
+        replay: !flag(args, "--reexecute"),
+        ..CoverageOptions::default()
+    };
     let sweep = coverage::exhaustive_check(
         |cx| {
             fig1::race_program(cx, 12);
         },
-        &CoverageOptions::default(),
+        &opts,
     );
     println!(
-        "{} SP+ runs (K = {}, M = {}); {} specification(s) exposed races:\n",
+        "{} SP+ runs ({} replayed from trace; K = {}, M = {}); \
+         {} specification(s) exposed races:\n",
         sweep.runs,
+        sweep.replayed,
         sweep.k,
         sweep.m,
         sweep.findings.len()

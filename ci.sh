@@ -17,6 +17,31 @@ cargo check -q --offline --workspace --benches
 echo "== bench smoke: engine runs end to end (offline, 1 sample) =="
 cargo bench -q --offline -p rader-bench --bench engine -- --samples 1 --warmup 0
 
+echo "== suite smoke: JSON report validates, racy entry exits nonzero =="
+RADER=target/release/rader
+SUITE_JSON=target/suite-smoke.json
+"$RADER" suite --threads 2 --json "$SUITE_JSON" >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$SUITE_JSON" >/dev/null
+else
+    "$RADER" json-check "$SUITE_JSON" >/dev/null
+fi
+# The in-tree validator must agree regardless of which tool ran above.
+"$RADER" json-check "$SUITE_JSON" >/dev/null
+# With the buggy Figure-1 workload appended the suite must fail (exit 1).
+if "$RADER" suite --racy --threads 2 --json "$SUITE_JSON" >/dev/null; then
+    echo "ERROR: suite --racy should exit nonzero" >&2
+    exit 1
+fi
+"$RADER" json-check "$SUITE_JSON" >/dev/null
+grep -q '"clean": false' "$SUITE_JSON"
+# Malformed CLI values must exit 2 and name the flag.
+if "$RADER" suite --threads 0x >/dev/null 2>target/rader-usage-err; then
+    echo "ERROR: malformed --threads should exit 2" >&2
+    exit 1
+fi
+grep -q -- '--threads' target/rader-usage-err
+
 if cargo fmt --version >/dev/null 2>&1; then
     echo "== rustfmt =="
     cargo fmt --all --check

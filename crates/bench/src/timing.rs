@@ -165,7 +165,7 @@ impl Harness {
         while let Some(a) = args.next() {
             match a.as_str() {
                 // Flags cargo-bench passes through to every target.
-                "--bench" | "--exact" => {}
+                "--bench" | "--exact" | "--nocapture" => {}
                 "--samples" => h.samples = count_arg("--samples", args.next())?.max(1),
                 "--warmup" => h.warmup = count_arg("--warmup", args.next())?,
                 "--json" => {
@@ -175,7 +175,15 @@ impl Harness {
                     )
                 }
                 other if !other.starts_with('-') => h.filter = Some(other.to_string()),
-                _ => {}
+                // A mistyped flag used to fall through here and be
+                // silently dropped — `--sample 100` ran 10 samples with
+                // no hint anything was wrong. Fail loudly instead.
+                other => {
+                    return Err(format!(
+                        "unknown flag {other:?} (expected --samples, --warmup, \
+                         --json, or a name filter)"
+                    ))
+                }
             }
         }
         Ok(h)
@@ -342,8 +350,7 @@ mod tests {
         assert_eq!(h.warmup, 0);
         assert_eq!(h.json.as_deref(), Some("out.json"));
         assert_eq!(h.filter.as_deref(), Some("sweep"));
-        // cargo-bench passthrough flags and unknown dashed flags are
-        // still ignored.
+        // cargo-bench passthrough flags are still accepted and ignored.
         let h = parse(&["--bench", "--exact", "--nocapture"]).unwrap();
         assert_eq!(h.samples, 10);
         // --samples 0 clamps to 1 rather than erroring.
@@ -362,6 +369,13 @@ mod tests {
         assert!(err.contains("--warmup"), "{err}");
         // Any next token is taken as the path, even a dashed one.
         assert!(parse(&["--json", "--weird.json"]).is_ok());
+        // Unknown dashed flags are errors that name the flag, not
+        // silently ignored knobs.
+        let err = parse(&["--sample", "100"]).unwrap_err();
+        assert!(err.contains("--sample"), "{err}");
+        let err = parse(&["--bogus"]).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+        assert!(err.contains("--bogus"), "{err}");
     }
 
     #[test]

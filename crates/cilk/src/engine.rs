@@ -125,7 +125,13 @@ pub struct Ctx<'t> {
 }
 
 impl<'t> Ctx<'t> {
-    fn new(spec: StealSpec, tool: ToolRef<'t>) -> Self {
+    fn new(spec: StealSpec, mut tool: ToolRef<'t>) -> Self {
+        // Every run entry point (run, run_tool, replay_tool, recording)
+        // constructs a Ctx, so firing `begin_run` here guarantees a tool
+        // sees it exactly once per run, before any other hook.
+        if let ToolRef::Dyn(t) = &mut tool {
+            t.begin_run();
+        }
         let every_block = match &spec {
             StealSpec::EveryBlock(s) => Some(Arc::new(s.clone())),
             _ => None,

@@ -115,6 +115,15 @@ pub enum ReducerReadKind {
 /// indirect calls the paper's compiler instrumentation made.
 #[allow(unused_variables)]
 pub trait Tool {
+    /// The engine is about to feed this tool a fresh run (fired once at
+    /// the start of `run_tool`, `replay_tool`, and a recording run,
+    /// before any other hook). Tools that hold per-run state can reset
+    /// it here, which lets a driver reuse one tool instance — and its
+    /// allocations — across many runs (the Section-7 sweep pools its
+    /// SP+ state this way). Cumulative counters may survive; detection
+    /// state must not.
+    fn begin_run(&mut self) {}
+
     /// A frame was entered (`F` spawns or calls `G`; `frame` is `G`).
     fn frame_enter(&mut self, frame: FrameId, kind: EnterKind) {}
 

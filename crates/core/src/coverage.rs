@@ -20,7 +20,9 @@
 //! base case and merges the reports, giving the paper's coverage
 //! guarantee for races involving at least one view-oblivious strand.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use rader_cilk::{
     BlockOp, BlockScript, Ctx, Loc, ProgramTrace, RunStats, SerialEngine, StealSpec, ViewMem,
@@ -62,6 +64,22 @@ pub fn reduce_coverage_specs(k: u32) -> Vec<StealSpec> {
     specs
 }
 
+/// How a parallel sweep distributes specifications across its threads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SweepScheduler {
+    /// Threads pull the next unclaimed spec index from a shared atomic
+    /// counter. Self-balancing: the `EveryBlock` reduce triples cost far
+    /// more than the `AtSpawnCount` update specs, and a fixed partition
+    /// can strand all the expensive ones on one thread while the others
+    /// idle. This is the default.
+    #[default]
+    WorkQueue,
+    /// Thread `t` of `n` statically takes specs `t, t+n, t+2n, …`
+    /// (round-robin). Kept for the scheduler benchmarks and as a
+    /// debugging aid; produces identical reports, just worse balance.
+    Strided,
+}
+
 /// Options for [`exhaustive_check`].
 #[derive(Clone, Copy, Debug)]
 pub struct CoverageOptions {
@@ -81,6 +99,8 @@ pub struct CoverageOptions {
     /// back to honest re-execution automatically). `false` forces
     /// re-execution for every run.
     pub replay: bool,
+    /// How [`exhaustive_check_parallel`] distributes specs over threads.
+    pub scheduler: SweepScheduler,
 }
 
 impl Default for CoverageOptions {
@@ -91,6 +111,7 @@ impl Default for CoverageOptions {
             max_k: None,
             max_spawn_count: None,
             replay: true,
+            scheduler: SweepScheduler::WorkQueue,
         }
     }
 }
@@ -120,25 +141,45 @@ fn plan_specs(stats: &RunStats, opts: &CoverageOptions) -> (Vec<StealSpec>, u32,
 /// Run SP+ under one specification, preferring trace replay when a trace
 /// is available and falling back to re-executing the program if replay
 /// reports divergence. Returns the report and whether replay served it.
+///
+/// `tool` is a pooled detector: the engine's `begin_run` hook resets its
+/// detection state in place, so a sweep reuses one bag forest and one
+/// pair of shadow spaces across all its runs instead of allocating fresh
+/// ones per spec.
 fn sweep_one(
     program: &(impl Fn(&mut Ctx<'_>) + Sync),
     trace: Option<&ProgramTrace>,
     spec: &StealSpec,
+    tool: &mut SpPlus,
 ) -> (RaceReport, bool) {
     if let Some(trace) = trace {
-        let mut tool = SpPlus::new();
         if SerialEngine::with_spec(spec.clone())
-            .replay_tool(&mut tool, trace)
+            .replay_tool(tool, trace)
             .is_ok()
         {
-            return (tool.into_report(), true);
+            return (tool.take_report(), true);
         }
         // Divergence: this spec's schedule makes the recorded stream
         // unreliable (see `rader_cilk::replay`); re-execute honestly.
     }
-    let mut tool = SpPlus::new();
-    SerialEngine::with_spec(spec.clone()).run_tool(&mut tool, program);
-    (tool.into_report(), false)
+    SerialEngine::with_spec(spec.clone()).run_tool(tool, program);
+    (tool.take_report(), false)
+}
+
+/// Wall-clock cost of each phase of an exhaustive sweep, in nanoseconds.
+/// Sweep regressions hide easily inside an aggregate number; the suite
+/// CLI surfaces this breakdown so a slow record pass (program got more
+/// expensive) reads differently from a slow sweep (scheduler or replay
+/// regressed) or a slow merge (report handling regressed).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepTiming {
+    /// Recording pass (doubles as the no-steal detection run), or the
+    /// uninstrumented measuring run when replay is disabled.
+    pub record_ns: u64,
+    /// The specification sweep itself (all SP+ runs after the first).
+    pub sweep_ns: u64,
+    /// Folding per-spec reports into the merged report.
+    pub merge_ns: u64,
 }
 
 /// Result of an exhaustive SP+ sweep.
@@ -164,6 +205,11 @@ pub struct ExhaustiveReport {
     pub k: u32,
     /// Measured maximum spawn count `M`.
     pub m: u32,
+    /// Total SP+ access checks performed across every run of the sweep
+    /// (including the record pass and any divergence fallbacks).
+    pub spplus_checks: u64,
+    /// Per-phase wall-clock breakdown of this sweep.
+    pub timing: SweepTiming,
 }
 
 impl ExhaustiveReport {
@@ -196,7 +242,18 @@ pub fn exhaustive_check(
 /// As [`exhaustive_check`], but running the independent SP+ sweeps on
 /// `threads` OS threads. The sweep dominates checking cost (Θ(M) + Θ(K³)
 /// serial runs), and the runs share nothing, so this scales nearly
-/// linearly. Findings are returned in deterministic (spec) order.
+/// linearly. Findings are returned in deterministic (spec) order: worker
+/// results are index-sorted before merging, so the merged report is
+/// byte-identical across thread counts and scheduler choices.
+///
+/// Specs are handed out from a shared atomic work queue by default
+/// ([`SweepScheduler::WorkQueue`]): spec costs are wildly uneven (an
+/// `EveryBlock` reduce triple re-runs the whole program's reduce
+/// machinery; an `AtSpawnCount` update spec may steal once), so a static
+/// partition can leave one thread holding every expensive spec while the
+/// rest idle. Each worker pools one [`SpPlus`] instance across all its
+/// runs (the engine's `begin_run` hook resets it in place), so a sweep
+/// allocates O(threads) bag forests, not O(specs).
 pub fn exhaustive_check_parallel(
     program: impl Fn(&mut Ctx<'_>) + Sync,
     opts: &CoverageOptions,
@@ -208,47 +265,75 @@ pub fn exhaustive_check_parallel(
     // hook on an ordinary SP+ run). With replay disabled, a plain
     // uninstrumented run measures K and M for spec planning instead; it
     // is not counted in `runs`.
-    let (trace, stats, base) = if opts.replay {
+    let record_start = Instant::now();
+    let (trace, stats, base, base_checks) = if opts.replay {
         let mut tool = SpPlus::new();
         let trace = ProgramTrace::record_with_tool(&mut tool, &program);
         let stats = *trace.stats();
-        (Some(trace), stats, Some(tool.into_report()))
+        let checks = tool.checks;
+        (Some(trace), stats, Some(tool.into_report()), checks)
     } else {
-        (None, SerialEngine::new().run(&program), None)
+        (None, SerialEngine::new().run(&program), None, 0)
     };
+    let record_ns = record_start.elapsed().as_nanos() as u64;
     let (specs, k, m) = plan_specs(&stats, opts);
     let runs = specs.len();
     let threads = threads.max(1).min(runs.max(1));
-    let results: Vec<(usize, RaceReport, bool)> = std::thread::scope(|scope| {
-        let program = &program;
-        let specs = &specs;
-        let trace = trace.as_ref();
-        // Index 0 (StealSpec::None) is already served when the record
-        // pass ran as the first detection run.
-        let first = base.is_some() as usize;
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            handles.push(scope.spawn(move || {
-                let mut local = Vec::new();
-                let mut i = first + t;
-                while i < specs.len() {
-                    let (report, replayed) = sweep_one(program, trace, &specs[i]);
-                    local.push((i, report, replayed));
-                    i += threads;
-                }
-                local
-            }));
-        }
-        let mut all: Vec<(usize, RaceReport, bool)> = handles
-            .into_iter()
-            .flat_map(|h| h.join().unwrap())
-            .collect();
-        if let Some(report) = base {
-            all.push((0, report, true));
-        }
-        all.sort_by_key(|(i, _, _)| *i);
-        all
-    });
+    // Index 0 (StealSpec::None) is already served when the record pass
+    // ran as the first detection run.
+    let first = base.is_some() as usize;
+    let queue = AtomicUsize::new(first);
+    let sweep_start = Instant::now();
+    let (mut results, sweep_checks): (Vec<(usize, RaceReport, bool)>, u64) =
+        std::thread::scope(|scope| {
+            let program = &program;
+            let specs = &specs;
+            let trace = trace.as_ref();
+            let queue = &queue;
+            let scheduler = opts.scheduler;
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                handles.push(scope.spawn(move || {
+                    let mut tool = SpPlus::new();
+                    let mut local = Vec::new();
+                    match scheduler {
+                        SweepScheduler::WorkQueue => loop {
+                            let i = queue.fetch_add(1, Ordering::Relaxed);
+                            if i >= specs.len() {
+                                break;
+                            }
+                            let (report, replayed) =
+                                sweep_one(program, trace, &specs[i], &mut tool);
+                            local.push((i, report, replayed));
+                        },
+                        SweepScheduler::Strided => {
+                            let mut i = first + t;
+                            while i < specs.len() {
+                                let (report, replayed) =
+                                    sweep_one(program, trace, &specs[i], &mut tool);
+                                local.push((i, report, replayed));
+                                i += threads;
+                            }
+                        }
+                    }
+                    (local, tool.checks)
+                }));
+            }
+            let mut all = Vec::with_capacity(specs.len());
+            let mut checks = 0u64;
+            for h in handles {
+                let (local, c) = h.join().unwrap();
+                all.extend(local);
+                checks += c;
+            }
+            (all, checks)
+        });
+    if let Some(report) = base {
+        results.push((0, report, true));
+    }
+    results.sort_by_key(|(i, _, _)| *i);
+    let sweep_ns = sweep_start.elapsed().as_nanos() as u64;
+    let merge_start = Instant::now();
     let mut merger = ReportMerger::new();
     let mut findings = Vec::new();
     let mut replayed = 0;
@@ -261,6 +346,7 @@ pub fn exhaustive_check_parallel(
         }
         merger.merge(&r);
     }
+    let merge_ns = merge_start.elapsed().as_nanos() as u64;
     ExhaustiveReport {
         report: merger.finish(),
         findings,
@@ -268,6 +354,12 @@ pub fn exhaustive_check_parallel(
         replayed,
         k,
         m,
+        spplus_checks: base_checks + sweep_checks,
+        timing: SweepTiming {
+            record_ns,
+            sweep_ns,
+            merge_ns,
+        },
     }
 }
 
@@ -280,15 +372,15 @@ pub fn exhaustive_check_parallel(
 /// the specification exposes no race to begin with.
 pub fn minimize_spec(program: impl Fn(&mut Ctx<'_>), spec: &StealSpec) -> StealSpec {
     // ddmin probes many candidate specs on one fixed program: record
-    // once, replay per candidate, re-execute only on divergence.
+    // once, replay per candidate (with one pooled detector), re-execute
+    // only on divergence.
     let trace = ProgramTrace::record(&program);
-    let racy_under = |candidate: &StealSpec| {
-        let mut tool = SpPlus::new();
+    let mut tool = SpPlus::new();
+    let mut racy_under = |candidate: &StealSpec| {
         if SerialEngine::with_spec(candidate.clone())
             .replay_tool(&mut tool, &trace)
             .is_err()
         {
-            tool = SpPlus::new();
             SerialEngine::with_spec(candidate.clone()).run_tool(&mut tool, &program);
         }
         tool.report().racy_locs()
@@ -301,7 +393,7 @@ pub fn minimize_spec(program: impl Fn(&mut Ctx<'_>), spec: &StealSpec) -> StealS
         return spec.clone();
     };
     let mut ops: Vec<BlockOp> = script.ops().to_vec();
-    let still_exposes = |ops: &[BlockOp]| {
+    let mut still_exposes = |ops: &[BlockOp]| {
         let candidate = StealSpec::EveryBlock(BlockScript::new(ops.to_vec()));
         !racy_under(&candidate).is_disjoint(&target)
     };

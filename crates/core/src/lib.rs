@@ -49,7 +49,10 @@ pub mod spbags;
 pub mod sporder;
 pub mod spplus;
 
-pub use coverage::{exhaustive_check, minimize_spec, CoverageOptions, ExhaustiveReport};
+pub use coverage::{
+    exhaustive_check, exhaustive_check_parallel, minimize_spec, CoverageOptions, ExhaustiveReport,
+    SweepScheduler, SweepTiming,
+};
 pub use peerset::PeerSet;
 pub use report::{AccessInfo, DeterminacyRace, RaceReport, ViewReadRace};
 pub use spbags::SpBags;

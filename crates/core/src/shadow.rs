@@ -55,6 +55,13 @@ impl ShadowSpace {
     pub fn occupied(&self) -> usize {
         self.entries.iter().filter(|e| e.is_some()).count()
     }
+
+    /// Forget every recorded access while keeping the backing storage,
+    /// so a pooled detector re-running a same-shaped program writes into
+    /// already-allocated slots instead of growing a fresh vector.
+    pub fn reset(&mut self) {
+        self.entries.fill(None);
+    }
 }
 
 #[cfg(test)]

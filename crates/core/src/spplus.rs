@@ -96,6 +96,16 @@ impl SpPlus {
         self.report
     }
 
+    /// Take the current run's report, leaving the detector ready for
+    /// reuse. Together with the engine's [`Tool::begin_run`] reset this
+    /// lets one `SpPlus` instance serve a whole specification sweep,
+    /// reusing its bag-forest and shadow-space allocations instead of
+    /// building fresh ones per run. The cumulative counters (`checks`,
+    /// `steals`, `reduces`) are preserved.
+    pub fn take_report(&mut self) -> RaceReport {
+        std::mem::take(&mut self.report)
+    }
+
     /// The current view ID: the top P bag's view of the current frame.
     fn current_vid(&mut self) -> ViewId {
         let f = self.stack.last().expect("no active frame");
@@ -242,6 +252,20 @@ impl SpPlus {
 }
 
 impl Tool for SpPlus {
+    fn begin_run(&mut self) {
+        // Reset detection state in place, keeping the forest's and the
+        // shadow spaces' capacity (a sweep re-runs the same program, so
+        // the next run refills the same-sized structures allocation-free).
+        // The public counters accumulate across runs by design: a pooled
+        // sweep reads them once at the end for its totals.
+        self.forest.reset();
+        self.stack.clear();
+        self.reader.reset();
+        self.writer.reset();
+        self.pending_reduce = None;
+        self.report = RaceReport::default();
+    }
+
     fn frame_enter(&mut self, _frame: FrameId, _kind: EnterKind) {
         self.flush_reduce();
         let vid = match self.stack.last() {

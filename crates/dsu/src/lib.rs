@@ -149,6 +149,14 @@ impl BagForest {
         self.nodes.len()
     }
 
+    /// Drop every element and bag while keeping the node storage's
+    /// capacity, so a pooled detector can run many same-shaped programs
+    /// without re-growing its forest each time. All outstanding [`Bag`]
+    /// and [`Elem`] handles are invalidated.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+    }
+
     /// True if no nodes have been allocated.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()

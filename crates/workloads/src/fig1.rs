@@ -130,6 +130,22 @@ pub fn workload(_scale: Scale) -> Workload {
     }
 }
 
+/// The **buggy** Figure-1 program as a suite workload. Its determinacy
+/// race hides inside a `Reduce` strand that only exists under schedules
+/// with steals, so a single-schedule check can report it clean; the
+/// Section-7 sweep always elicits it. Used to validate that the suite
+/// pipeline (and CI) flags a racy table entry with a nonzero exit.
+pub fn workload_racy(_scale: Scale) -> Workload {
+    Workload {
+        name: "fig1-racy",
+        description: "Figure 1 list example (shallow-copy bug)",
+        input_label: "n = 8".to_string(),
+        run: Box::new(move |cx| {
+            race_program(cx, 8);
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,15 +1,11 @@
 //! `rader` — command-line interface to the race detector.
 //!
-//! ```text
-//! rader fig1                     detect the paper's Figure-1 races
-//! rader suite [--paper]          run the 6 benchmarks under all detectors
-//! rader synth --seed N [--aliasing] [--dot]
-//!                                generate & exhaustively check a random program
-//! rader exhaustive [--reexecute] Section-7 sweep on Figure 1 with reproducer specs
-//! rader dot [--steals]           print the Figure-2 example dag as Graphviz
-//! ```
+//! Run `rader help` for usage. Exit codes: 0 clean, 1 races found
+//! (`suite`), 2 usage error.
 
-use rader::core::{coverage, CoverageOptions, PeerSet, Rader, SpPlus};
+use rader::cli::{self, Command, ExhaustiveOpts, SuiteOpts, SynthOpts};
+use rader::core::{coverage, CoverageOptions, Rader};
+use rader::suite::{self, SuiteOptions};
 use rader::workloads::{self, fig1, Scale};
 use rader_cilk::synth::{gen_program, run_synth, GenConfig};
 use rader_cilk::{BlockScript, SerialEngine, StealSpec};
@@ -17,32 +13,23 @@ use rader_dag::{HbGraph, TraceRecorder};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = args.first().map(String::as_str).unwrap_or("help");
-    match cmd {
-        "fig1" => cmd_fig1(),
-        "suite" => cmd_suite(&args),
-        "synth" => cmd_synth(&args),
-        "exhaustive" => cmd_exhaustive(&args),
-        "dot" => cmd_dot(&args),
-        _ => {
-            eprintln!(
-                "usage: rader <fig1 | suite [--paper] | synth --seed N \
-                 [--aliasing] [--dot] | exhaustive [--reexecute] | dot [--steals]>"
-            );
-            std::process::exit(if cmd == "help" { 0 } else { 2 });
+    let cmd = match cli::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("rader: {e}");
+            eprintln!("{}", cli::USAGE);
+            std::process::exit(2);
         }
+    };
+    match cmd {
+        Command::Fig1 => cmd_fig1(),
+        Command::Suite(o) => cmd_suite(&o),
+        Command::Synth(o) => cmd_synth(&o),
+        Command::Exhaustive(o) => cmd_exhaustive(&o),
+        Command::Dot { steals } => cmd_dot(steals),
+        Command::JsonCheck { path } => cmd_json_check(&path),
+        Command::Help => println!("{}", cli::USAGE),
     }
-}
-
-fn flag(args: &[String], name: &str) -> bool {
-    args.iter().any(|a| a == name)
-}
-
-fn opt_u64(args: &[String], name: &str) -> Option<u64> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
 }
 
 fn cmd_fig1() {
@@ -63,49 +50,84 @@ fn cmd_fig1() {
     print!("{r}");
 }
 
-fn cmd_suite(args: &[String]) {
-    let scale = if flag(args, "--paper") {
-        Scale::Paper
-    } else {
-        Scale::Small
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.1}ms", ns as f64 / 1e6)
+}
+
+fn cmd_suite(o: &SuiteOpts) {
+    let scale = if o.paper { Scale::Paper } else { Scale::Small };
+    let mut table = workloads::suite(scale);
+    if o.racy {
+        table.push(fig1::workload_racy(scale));
+    }
+    let defaults = SuiteOptions::default();
+    let opts = SuiteOptions {
+        threads: o.threads.unwrap_or(defaults.threads),
+        max_k: o.max_k,
+        max_spawn_count: o.max_spawn_count,
+        replay: !o.reexecute,
     };
+    let report = suite::run_suite(&table, &opts);
     println!(
-        "{:<10} {:>10} {:>10} {:>9} {:>8} {:>8}  verdict",
-        "benchmark", "frames", "accesses", "peer-set", "sp+", "steals"
+        "{:<10} {:>8} {:>10} {:>6} {:>8} {:>4} {:>4} {:>10} {:>11} {:>9} {:>9} {:>8}  verdict",
+        "benchmark",
+        "frames",
+        "accesses",
+        "runs",
+        "replayed",
+        "K",
+        "M",
+        "peer-set",
+        "sp+",
+        "record",
+        "sweep",
+        "merge"
     );
-    for w in workloads::suite(scale) {
-        let stats = SerialEngine::new().run(|cx| (w.run)(cx));
-        let mut ps = PeerSet::new();
-        SerialEngine::new().run_tool(&mut ps, |cx| (w.run)(cx));
-        let spec = StealSpec::Random {
-            seed: 1,
-            max_block: stats.max_sync_block.max(1),
-            steals_per_block: 3,
-        };
-        let mut sp = SpPlus::new();
-        SerialEngine::with_spec(spec).run_tool(&mut sp, |cx| (w.run)(cx));
-        let clean = !ps.report().has_races() && !sp.report().has_races();
+    for w in &report.workloads {
         println!(
-            "{:<10} {:>10} {:>10} {:>9} {:>8} {:>8}  {}",
+            "{:<10} {:>8} {:>10} {:>6} {:>8} {:>4} {:>4} {:>10} {:>11} {:>9} {:>9} {:>8}  {}",
             w.name,
-            stats.frames,
-            stats.reads + stats.writes,
-            ps.checks,
-            sp.checks,
-            sp.steals,
-            if clean { "clean" } else { "RACES" }
+            w.frames,
+            w.accesses,
+            w.runs,
+            w.replayed,
+            w.k,
+            w.m,
+            w.peer_set_checks,
+            w.spplus_checks,
+            fmt_ms(w.record_ns),
+            fmt_ms(w.sweep_ns),
+            fmt_ms(w.merge_ns),
+            if w.clean() {
+                "clean".to_string()
+            } else {
+                format!("RACES ({})", w.races)
+            }
         );
+    }
+    for w in report.workloads.iter().filter(|w| !w.clean()) {
+        println!("\n## {} races", w.name);
+        print!("{}", w.report);
+    }
+    if let Some(path) = &o.json {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("rader: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("\nwrote {path}");
+    }
+    if report.has_races() {
+        std::process::exit(1);
     }
 }
 
-fn cmd_synth(args: &[String]) {
-    let seed = opt_u64(args, "--seed").unwrap_or(0);
+fn cmd_synth(o: &SynthOpts) {
     let cfg = GenConfig {
-        view_aliasing: flag(args, "--aliasing"),
+        view_aliasing: o.aliasing,
         ..GenConfig::default()
     };
-    let prog = gen_program(seed, &cfg);
-    println!("program (seed {seed}): {:?}\n", prog.body);
+    let prog = gen_program(o.seed, &cfg);
+    println!("program (seed {}): {:?}\n", o.seed, prog.body);
     let sweep = coverage::exhaustive_check(
         |cx| {
             run_synth(cx, &prog);
@@ -123,36 +145,49 @@ fn cmd_synth(args: &[String]) {
     if vr.has_races() {
         print!("{vr}");
     }
-    if flag(args, "--dot") {
+    if o.dot {
         let mut rec = TraceRecorder::new();
         SerialEngine::new().run_tool(&mut rec, |cx| {
             run_synth(cx, &prog);
         });
         let hb = HbGraph::build(&rec.events);
-        println!("\n{}", hb.to_dot(&format!("synth-{seed}")));
+        println!("\n{}", hb.to_dot(&format!("synth-{}", o.seed)));
     }
 }
 
-fn cmd_exhaustive(args: &[String]) {
+fn cmd_exhaustive(o: &ExhaustiveOpts) {
     // --reexecute turns off the record-once/replay-many fast path and
     // re-runs the user program for every steal specification instead.
     let opts = CoverageOptions {
-        replay: !flag(args, "--reexecute"),
+        replay: !o.reexecute,
+        max_k: o.max_k,
+        max_spawn_count: o.max_spawn_count,
         ..CoverageOptions::default()
     };
-    let sweep = coverage::exhaustive_check(
+    let threads = o.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    let sweep = coverage::exhaustive_check_parallel(
         |cx| {
             fig1::race_program(cx, 12);
         },
         &opts,
+        threads,
     );
     println!(
-        "{} SP+ runs ({} replayed from trace; K = {}, M = {}); \
+        "{} SP+ runs ({} replayed from trace; K = {}, M = {}; \
+         record {}, sweep {} on {} thread(s), merge {}); \
          {} specification(s) exposed races:\n",
         sweep.runs,
         sweep.replayed,
         sweep.k,
         sweep.m,
+        fmt_ms(sweep.timing.record_ns),
+        fmt_ms(sweep.timing.sweep_ns),
+        threads,
+        fmt_ms(sweep.timing.merge_ns),
         sweep.findings.len()
     );
     for (i, (spec, report)) in sweep.findings.iter().enumerate() {
@@ -170,10 +205,25 @@ fn cmd_exhaustive(args: &[String]) {
     }
 }
 
-fn cmd_dot(args: &[String]) {
+fn cmd_json_check(path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("rader: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = suite::validate_json(&text) {
+        eprintln!("rader: {path}: invalid JSON: {e}");
+        std::process::exit(1);
+    }
+    println!("{path}: valid JSON");
+}
+
+fn cmd_dot(steals: bool) {
     use rader_cilk::synth::SynthAdd;
     use std::sync::Arc;
-    let spec = if flag(args, "--steals") {
+    let spec = if steals {
         StealSpec::EveryBlock(BlockScript::steals(vec![1, 2, 3]))
     } else {
         StealSpec::None

@@ -1,0 +1,291 @@
+//! Command-line parsing for the `rader` binary.
+//!
+//! Parsing is a pure function from argument vector to [`Command`] so it
+//! can be unit-tested without spawning the binary. Malformed values are
+//! hard errors, not silent defaults: `rader synth --seed abc` used to run
+//! seed 0 with no warning, which is exactly the kind of quiet
+//! misconfiguration a race detector must not have (a "clean" verdict for
+//! a program you did not mean to check). Every error names the offending
+//! flag; `main` prints it and exits 2.
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// Usage string shown on `rader help` and after a parse error.
+pub const USAGE: &str = "usage: rader <command> [options]
+  fig1                         detect the paper's Figure-1 races
+  suite [--paper] [--racy] [--json PATH] [--threads N]
+        [--max-k N] [--max-spawn-count N] [--reexecute]
+                               run the benchmark table under the full
+                               Section-7 sweep; exit 1 if races found
+  synth --seed N [--aliasing] [--dot]
+                               generate & exhaustively check a random program
+  exhaustive [--reexecute] [--threads N] [--max-k N] [--max-spawn-count N]
+                               Section-7 sweep on Figure 1 with reproducer specs
+  dot [--steals]               print the Figure-2 example dag as Graphviz
+  json-check PATH              validate that PATH parses as JSON (CI helper)";
+
+/// A fully parsed invocation of the `rader` binary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// `rader fig1`
+    Fig1,
+    /// `rader suite ...`
+    Suite(SuiteOpts),
+    /// `rader synth ...`
+    Synth(SynthOpts),
+    /// `rader exhaustive ...`
+    Exhaustive(ExhaustiveOpts),
+    /// `rader dot [--steals]`
+    Dot {
+        /// Render the dag under a stealing schedule (Figure-5 reduce tree).
+        steals: bool,
+    },
+    /// `rader json-check PATH`
+    JsonCheck {
+        /// File whose contents must parse as JSON.
+        path: String,
+    },
+    /// `rader help` (or no arguments).
+    Help,
+}
+
+/// Options for `rader suite`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SuiteOpts {
+    /// Paper-scale inputs instead of test-scale.
+    pub paper: bool,
+    /// Append the buggy Figure-1 workload to the table.
+    pub racy: bool,
+    /// Disable the record/replay fast path (re-execute per spec).
+    pub reexecute: bool,
+    /// Write per-workload JSON records to this path.
+    pub json: Option<String>,
+    /// Sweep threads (defaults to the machine's available parallelism).
+    pub threads: Option<usize>,
+    /// Cap on the reduce-family sync-block size `K`.
+    pub max_k: Option<u32>,
+    /// Cap on the update-family spawn count `M`.
+    pub max_spawn_count: Option<u32>,
+}
+
+/// Options for `rader synth`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SynthOpts {
+    /// Generator seed.
+    pub seed: u64,
+    /// Allow view-aliasing programs.
+    pub aliasing: bool,
+    /// Also print the computation dag as Graphviz.
+    pub dot: bool,
+}
+
+/// Options for `rader exhaustive`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExhaustiveOpts {
+    /// Disable the record/replay fast path.
+    pub reexecute: bool,
+    /// Sweep threads (defaults to the machine's available parallelism).
+    pub threads: Option<usize>,
+    /// Cap on the reduce-family sync-block size `K`.
+    pub max_k: Option<u32>,
+    /// Cap on the update-family spawn count `M`.
+    pub max_spawn_count: Option<u32>,
+}
+
+/// Parse a `--flag value` numeric operand at `args[*i + 1]`, advancing
+/// the cursor past it. The error names the flag and quotes the value.
+fn take_number<T>(args: &[String], i: &mut usize, flag: &str) -> Result<T, String>
+where
+    T: FromStr,
+    T::Err: Display,
+{
+    *i += 1;
+    let v = args
+        .get(*i)
+        .ok_or_else(|| format!("{flag} requires a value"))?;
+    v.parse()
+        .map_err(|_| format!("{flag} value {v:?} is not a valid number"))
+}
+
+/// As [`take_number`] but additionally rejecting zero (thread and cap
+/// counts where 0 is always a typo).
+fn take_positive(args: &[String], i: &mut usize, flag: &str) -> Result<usize, String> {
+    let n: usize = take_number(args, i, flag)?;
+    if n == 0 {
+        return Err(format!("{flag} must be at least 1"));
+    }
+    Ok(n)
+}
+
+fn take_path(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    *i += 1;
+    args.get(*i)
+        .cloned()
+        .ok_or_else(|| format!("{flag} requires a file path"))
+}
+
+fn parse_suite(args: &[String]) -> Result<SuiteOpts, String> {
+    let mut o = SuiteOpts::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--paper" => o.paper = true,
+            "--racy" => o.racy = true,
+            "--reexecute" => o.reexecute = true,
+            "--json" => o.json = Some(take_path(args, &mut i, "--json")?),
+            "--threads" => o.threads = Some(take_positive(args, &mut i, "--threads")?),
+            "--max-k" => o.max_k = Some(take_positive(args, &mut i, "--max-k")? as u32),
+            "--max-spawn-count" => {
+                o.max_spawn_count = Some(take_positive(args, &mut i, "--max-spawn-count")? as u32)
+            }
+            other => return Err(format!("unknown argument {other:?} for `rader suite`")),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+fn parse_synth(args: &[String]) -> Result<SynthOpts, String> {
+    let mut o = SynthOpts::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => o.seed = take_number(args, &mut i, "--seed")?,
+            "--aliasing" => o.aliasing = true,
+            "--dot" => o.dot = true,
+            other => return Err(format!("unknown argument {other:?} for `rader synth`")),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+fn parse_exhaustive(args: &[String]) -> Result<ExhaustiveOpts, String> {
+    let mut o = ExhaustiveOpts::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--reexecute" => o.reexecute = true,
+            "--threads" => o.threads = Some(take_positive(args, &mut i, "--threads")?),
+            "--max-k" => o.max_k = Some(take_positive(args, &mut i, "--max-k")? as u32),
+            "--max-spawn-count" => {
+                o.max_spawn_count = Some(take_positive(args, &mut i, "--max-spawn-count")? as u32)
+            }
+            other => return Err(format!("unknown argument {other:?} for `rader exhaustive`")),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+fn parse_dot(args: &[String]) -> Result<Command, String> {
+    let mut steals = false;
+    for a in &args[1..] {
+        match a.as_str() {
+            "--steals" => steals = true,
+            other => return Err(format!("unknown argument {other:?} for `rader dot`")),
+        }
+    }
+    Ok(Command::Dot { steals })
+}
+
+/// Parse the full argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "fig1" => match args.get(1) {
+            None => Ok(Command::Fig1),
+            Some(other) => Err(format!("unknown argument {other:?} for `rader fig1`")),
+        },
+        "suite" => parse_suite(args).map(Command::Suite),
+        "synth" => parse_synth(args).map(Command::Synth),
+        "exhaustive" => parse_exhaustive(args).map(Command::Exhaustive),
+        "dot" => parse_dot(args),
+        "json-check" => match (args.get(1), args.get(2)) {
+            (Some(path), None) => Ok(Command::JsonCheck { path: path.clone() }),
+            (None, _) => Err("json-check requires a file path".to_string()),
+            (_, Some(extra)) => Err(format!("unknown argument {extra:?} for `rader json-check`")),
+        },
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_strs(args: &[&str]) -> Result<Command, String> {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn well_formed_commands_parse() {
+        assert_eq!(parse_strs(&[]), Ok(Command::Help));
+        assert_eq!(parse_strs(&["fig1"]), Ok(Command::Fig1));
+        assert_eq!(parse_strs(&["dot"]), Ok(Command::Dot { steals: false }));
+        assert_eq!(
+            parse_strs(&["dot", "--steals"]),
+            Ok(Command::Dot { steals: true })
+        );
+        let Ok(Command::Synth(o)) = parse_strs(&["synth", "--seed", "42", "--aliasing"]) else {
+            panic!("synth did not parse");
+        };
+        assert_eq!(o.seed, 42);
+        assert!(o.aliasing && !o.dot);
+        let Ok(Command::Suite(o)) = parse_strs(&[
+            "suite",
+            "--json",
+            "out.json",
+            "--threads",
+            "4",
+            "--max-k",
+            "6",
+            "--racy",
+        ]) else {
+            panic!("suite did not parse");
+        };
+        assert_eq!(o.json.as_deref(), Some("out.json"));
+        assert_eq!(o.threads, Some(4));
+        assert_eq!(o.max_k, Some(6));
+        assert!(o.racy && !o.paper);
+    }
+
+    #[test]
+    fn malformed_seed_is_an_error_naming_the_flag() {
+        // The headline satellite bug: `--seed abc` used to silently run
+        // seed 0.
+        let err = parse_strs(&["synth", "--seed", "abc"]).unwrap_err();
+        assert!(err.contains("--seed"), "{err}");
+        assert!(err.contains("abc"), "{err}");
+        let err = parse_strs(&["synth", "--seed"]).unwrap_err();
+        assert!(err.contains("--seed requires a value"), "{err}");
+    }
+
+    #[test]
+    fn malformed_threads_and_caps_are_errors() {
+        let err = parse_strs(&["suite", "--threads", "0x"]).unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
+        assert!(err.contains("0x"), "{err}");
+        let err = parse_strs(&["suite", "--threads", "0"]).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse_strs(&["suite", "--max-k"]).unwrap_err();
+        assert!(err.contains("--max-k requires a value"), "{err}");
+        let err = parse_strs(&["exhaustive", "--max-spawn-count", "-1"]).unwrap_err();
+        assert!(err.contains("--max-spawn-count"), "{err}");
+        let err = parse_strs(&["suite", "--json"]).unwrap_err();
+        assert!(err.contains("--json requires a file path"), "{err}");
+    }
+
+    #[test]
+    fn unknown_subcommands_and_flags_are_errors() {
+        let err = parse_strs(&["sweep"]).unwrap_err();
+        assert!(err.contains("unknown command"), "{err}");
+        assert!(err.contains("sweep"), "{err}");
+        let err = parse_strs(&["suite", "--jsn", "x"]).unwrap_err();
+        assert!(err.contains("--jsn"), "{err}");
+        let err = parse_strs(&["fig1", "--verbose"]).unwrap_err();
+        assert!(err.contains("--verbose"), "{err}");
+    }
+}

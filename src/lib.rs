@@ -39,6 +39,9 @@
 //! assert!(report.has_races());
 //! ```
 
+pub mod cli;
+pub mod suite;
+
 pub use rader_cilk as cilk;
 pub use rader_core as core;
 pub use rader_dag as dag;

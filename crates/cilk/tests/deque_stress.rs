@@ -1,0 +1,222 @@
+//! Seeded stress tests for the lock-free Chase–Lev deque.
+//!
+//! The deque's correctness claims (crates/cilk/src/deque.rs module docs)
+//! are: every pushed element is taken exactly once (conservation, no
+//! duplication), the owner sees LIFO order, thieves see FIFO order, and
+//! unclaimed elements are dropped exactly once. These tests drive
+//! randomized multi-thread interleavings from `rader-rng` seeds — every
+//! failure reproduces from its printed seed — plus a single-owner
+//! sequential model check against `VecDeque`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use rader_cilk::deque::{ChaseLev, Steal};
+use rader_rng::Rng;
+
+/// Steal until `Empty`, retrying lost races, appending into `out`.
+fn drain_as_thief(d: &ChaseLev<usize>, out: &mut Vec<usize>) {
+    loop {
+        match d.steal() {
+            Steal::Taken(v) => out.push(v),
+            Steal::Retry => {}
+            Steal::Empty => return,
+        }
+    }
+}
+
+/// Single-owner sequential model test: random push/pop/steal ops on one
+/// thread must agree exactly with a `VecDeque` model (owner at the back,
+/// thief at the front). Exercises growth and the empty/last-element
+/// boundary without concurrency noise.
+#[test]
+fn sequential_ops_match_vecdeque_model() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::seed_from_u64(0xDE9E_0000 + seed);
+        let d = ChaseLev::new();
+        let mut model: VecDeque<usize> = VecDeque::new();
+        let mut next = 0usize;
+        for _ in 0..4_096 {
+            match rng.gen_range(0..3u32) {
+                0 => {
+                    d.push(next);
+                    model.push_back(next);
+                    next += 1;
+                }
+                1 => {
+                    let got = d.pop();
+                    let want = model.pop_back();
+                    assert_eq!(got, want, "seed {seed}: owner pop diverged from model");
+                }
+                _ => {
+                    let got = match d.steal() {
+                        Steal::Taken(v) => Some(v),
+                        Steal::Empty => None,
+                        Steal::Retry => panic!("seed {seed}: Retry with no contention"),
+                    };
+                    let want = model.pop_front();
+                    assert_eq!(got, want, "seed {seed}: thief steal diverged from model");
+                }
+            }
+            assert_eq!(d.len(), model.len(), "seed {seed}: length diverged");
+        }
+    }
+}
+
+/// Multi-thread conservation: an owner doing a seeded mix of pushes and
+/// pops races 1–4 thieves; afterwards, pops ∪ steals must be exactly the
+/// pushed set — nothing lost, nothing duplicated.
+#[test]
+fn concurrent_interleavings_conserve_elements() {
+    for seed in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(0xC0DE_0000 + seed);
+        let nthieves = rng.gen_range(1..=4usize);
+        let total = rng.gen_range(2_000..6_000usize);
+        let pop_bias = rng.gen_range(0..100u32);
+        let owner_seed = rng.next_u64();
+
+        let d = Arc::new(ChaseLev::new());
+        let done = Arc::new(AtomicBool::new(false));
+        let (mut popped, stolen): (Vec<usize>, Vec<usize>) = std::thread::scope(|s| {
+            let thieves: Vec<_> = (0..nthieves)
+                .map(|_| {
+                    let d = d.clone();
+                    let done = done.clone();
+                    s.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            match d.steal() {
+                                Steal::Taken(v) => local.push(v),
+                                Steal::Retry => {}
+                                Steal::Empty => {
+                                    if done.load(Ordering::Acquire) {
+                                        // Final drain after the owner
+                                        // quiesced, then exit.
+                                        drain_as_thief(&d, &mut local);
+                                        return local;
+                                    }
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+
+            // Owner: seeded push/pop mix, then quiesce.
+            let mut rng = Rng::seed_from_u64(owner_seed);
+            let mut popped = Vec::new();
+            let mut next = 0usize;
+            while next < total {
+                if rng.gen_range(0..100u32) < pop_bias {
+                    if let Some(v) = d.pop() {
+                        popped.push(v);
+                    }
+                } else {
+                    d.push(next);
+                    next += 1;
+                }
+            }
+            done.store(true, Ordering::Release);
+            let stolen: Vec<usize> = thieves
+                .into_iter()
+                .flat_map(|t| t.join().unwrap())
+                .collect();
+            (popped, stolen)
+        });
+
+        // Leftovers (thieves may exit while the owner still holds the
+        // last element race) drain through the owner side.
+        while let Some(v) = d.pop() {
+            popped.push(v);
+        }
+        let mut all: Vec<usize> = popped.iter().chain(stolen.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(
+            all,
+            (0..total).collect::<Vec<_>>(),
+            "seed {seed}: conservation violated ({} popped, {} stolen, {} pushed)",
+            popped.len(),
+            stolen.len(),
+            total
+        );
+    }
+}
+
+/// Per-thief FIFO: a single thief's steal sequence must be strictly
+/// increasing (it always takes the current oldest element), even while
+/// the owner pushes and pops concurrently and growth churns buffers.
+#[test]
+fn single_thief_observes_fifo_order() {
+    for seed in 0..16u64 {
+        let mut rng = Rng::seed_from_u64(0xF1F0_0000 + seed);
+        let total = rng.gen_range(4_000..8_000usize);
+        let d = Arc::new(ChaseLev::new());
+        let done = Arc::new(AtomicBool::new(false));
+        let stolen = std::thread::scope(|s| {
+            let thief = {
+                let d = d.clone();
+                let done = done.clone();
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    while !done.load(Ordering::Acquire) {
+                        match d.steal() {
+                            Steal::Taken(v) => local.push(v),
+                            Steal::Retry => {}
+                            Steal::Empty => std::thread::yield_now(),
+                        }
+                    }
+                    drain_as_thief(&d, &mut local);
+                    local
+                })
+            };
+            for i in 0..total {
+                d.push(i);
+                // Occasional owner pops contend on the last element.
+                if rng.gen_range(0..8u32) == 0 {
+                    let _ = d.pop();
+                }
+            }
+            done.store(true, Ordering::Release);
+            thief.join().unwrap()
+        });
+        for w in stolen.windows(2) {
+            assert!(
+                w[0] < w[1],
+                "seed {seed}: thief saw {} before {} (FIFO violated)",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}
+
+/// Dropping a deque with unclaimed elements (across several buffer
+/// growths, so retired buffers exist) must drop each element exactly
+/// once and free every buffer generation without touching stolen ones.
+#[test]
+fn drop_after_growth_is_leak_free_and_exact() {
+    let sentinel = Arc::new(());
+    {
+        let d = ChaseLev::new();
+        // Push well past several doublings of the 64-slot initial
+        // buffer, stealing some along the way so the window shifts.
+        for i in 0..1_000usize {
+            d.push(sentinel.clone());
+            if i % 7 == 0 {
+                match d.steal() {
+                    Steal::Taken(v) => drop(v),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        let live = 1_000 - 1_000usize.div_ceil(7);
+        assert_eq!(Arc::strong_count(&sentinel), live + 1);
+    }
+    assert_eq!(
+        Arc::strong_count(&sentinel),
+        1,
+        "Drop leaked or double-freed"
+    );
+}

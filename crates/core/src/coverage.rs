@@ -65,19 +65,83 @@ pub fn reduce_coverage_specs(k: u32) -> Vec<StealSpec> {
 }
 
 /// How a parallel sweep distributes specifications across its threads.
+///
+/// Both schedulers operate on the *chunk* list produced by the sweep's
+/// [`ChunkPolicy`]: a chunk is a run of consecutive spec indices claimed
+/// as one unit, so the claim count is identical across schedulers and
+/// thread counts (and so are the reports — results are index-sorted
+/// before merging either way).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum SweepScheduler {
-    /// Threads pull the next unclaimed spec index from a shared atomic
+    /// Threads pull the next unclaimed chunk from a shared atomic
     /// counter. Self-balancing: the `EveryBlock` reduce triples cost far
     /// more than the `AtSpawnCount` update specs, and a fixed partition
     /// can strand all the expensive ones on one thread while the others
     /// idle. This is the default.
     #[default]
     WorkQueue,
-    /// Thread `t` of `n` statically takes specs `t, t+n, t+2n, …`
+    /// Thread `t` of `n` statically takes chunks `t, t+n, t+2n, …`
     /// (round-robin). Kept for the scheduler benchmarks and as a
     /// debugging aid; produces identical reports, just worse balance.
     Strided,
+}
+
+/// Chunk length used by [`ChunkPolicy::Family`] for the cheap spec
+/// families (`None` / `AtSpawnCount`).
+pub const UPDATE_CHUNK: usize = 16;
+
+/// How the parallel sweep batches spec indices into claims.
+///
+/// An `AtSpawnCount` replay is microseconds, so at high thread counts
+/// the shared claim counter becomes the hot cache line if every spec is
+/// claimed individually; a cubic `EveryBlock` triple re-runs the whole
+/// reduce machinery, so batching those only *hurts* balance. Chunk sizes
+/// therefore follow the spec family (see the policy table in DESIGN.md).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ChunkPolicy {
+    /// One spec per claim — the pre-chunking behavior, kept as the
+    /// `sweep_chunking` bench baseline.
+    PerSpec,
+    /// Family-sized chunks: cheap specs (`None` and the Theorem-6
+    /// `AtSpawnCount` update family) are claimed [`UPDATE_CHUNK`] at a
+    /// time; every `EveryBlock` reduce spec (and any other expensive
+    /// kind) is its own chunk. The default.
+    #[default]
+    Family,
+    /// Fixed chunk length for every spec (clamped to ≥ 1). For
+    /// experiments; `Fixed(1)` is equivalent to `PerSpec`.
+    Fixed(usize),
+}
+
+/// Split `specs[first..]` into claimable chunks under `policy`. Chunks
+/// are contiguous, ordered, and cover every index exactly once, so the
+/// sweep's result set — and its claim count, `chunks.len()` — is a pure
+/// function of the spec list and policy, independent of thread count and
+/// scheduler.
+fn plan_chunks(specs: &[StealSpec], first: usize, policy: ChunkPolicy) -> Vec<(usize, usize)> {
+    let cheap = |s: &StealSpec| matches!(s, StealSpec::None | StealSpec::AtSpawnCount(_));
+    let mut chunks = Vec::new();
+    let mut i = first;
+    while i < specs.len() {
+        let len = match policy {
+            ChunkPolicy::PerSpec => 1,
+            ChunkPolicy::Fixed(n) => n.max(1).min(specs.len() - i),
+            ChunkPolicy::Family => {
+                if cheap(&specs[i]) {
+                    let mut l = 1;
+                    while l < UPDATE_CHUNK && i + l < specs.len() && cheap(&specs[i + l]) {
+                        l += 1;
+                    }
+                    l
+                } else {
+                    1
+                }
+            }
+        };
+        chunks.push((i, i + len));
+        i += len;
+    }
+    chunks
 }
 
 /// Options for [`exhaustive_check`].
@@ -101,6 +165,8 @@ pub struct CoverageOptions {
     pub replay: bool,
     /// How [`exhaustive_check_parallel`] distributes specs over threads.
     pub scheduler: SweepScheduler,
+    /// How spec indices are batched into per-thread claims.
+    pub chunking: ChunkPolicy,
 }
 
 impl Default for CoverageOptions {
@@ -112,6 +178,7 @@ impl Default for CoverageOptions {
             max_spawn_count: None,
             replay: true,
             scheduler: SweepScheduler::WorkQueue,
+            chunking: ChunkPolicy::Family,
         }
     }
 }
@@ -205,6 +272,12 @@ pub struct ExhaustiveReport {
     pub k: u32,
     /// Measured maximum spawn count `M`.
     pub m: u32,
+    /// Chunk claims the sweep performed: the number of units of work
+    /// handed out by the scheduler ([`ChunkPolicy`] batches cheap specs,
+    /// so `claims < runs` whenever chunking amortized the shared
+    /// counter). A pure function of the spec list and chunk policy —
+    /// identical across thread counts and schedulers.
+    pub claims: usize,
     /// Total SP+ access checks performed across every run of the sweep
     /// (including the record pass and any divergence fallbacks).
     pub spplus_checks: u64,
@@ -251,7 +324,12 @@ pub fn exhaustive_check(
 /// `EveryBlock` reduce triple re-runs the whole program's reduce
 /// machinery; an `AtSpawnCount` update spec may steal once), so a static
 /// partition can leave one thread holding every expensive spec while the
-/// rest idle. Each worker pools one [`SpPlus`] instance across all its
+/// rest idle. Claims are batched by the [`ChunkPolicy`]: the cheap
+/// update family is handed out [`UPDATE_CHUNK`] specs at a time (an
+/// `AtSpawnCount` replay is microseconds — claimed singly, the shared
+/// counter becomes the hot cache line at high thread counts), while
+/// every `EveryBlock` spec remains its own claim so balance is
+/// unaffected where it matters. Each worker pools one [`SpPlus`] instance across all its
 /// runs (the engine's `begin_run` hook resets it in place), so a sweep
 /// allocates O(threads) bag forests, not O(specs).
 pub fn exhaustive_check_parallel(
@@ -282,12 +360,19 @@ pub fn exhaustive_check_parallel(
     // Index 0 (StealSpec::None) is already served when the record pass
     // ran as the first detection run.
     let first = base.is_some() as usize;
-    let queue = AtomicUsize::new(first);
+    // Batch the remaining specs into claims: the scheduler hands out
+    // whole chunks, so cheap `AtSpawnCount` replays stop hammering the
+    // shared counter while each cubic `EveryBlock` spec stays its own
+    // unit of balance.
+    let chunks = plan_chunks(&specs, first, opts.chunking);
+    let claims = chunks.len();
+    let queue = AtomicUsize::new(0);
     let sweep_start = Instant::now();
     let (mut results, sweep_checks): (Vec<(usize, RaceReport, bool)>, u64) =
         std::thread::scope(|scope| {
             let program = &program;
             let specs = &specs;
+            let chunks = &chunks;
             let trace = trace.as_ref();
             let queue = &queue;
             let scheduler = opts.scheduler;
@@ -296,23 +381,26 @@ pub fn exhaustive_check_parallel(
                 handles.push(scope.spawn(move || {
                     let mut tool = SpPlus::new();
                     let mut local = Vec::new();
+                    let run_chunk =
+                        |(start, end): (usize, usize), local: &mut Vec<_>, tool: &mut SpPlus| {
+                            for i in start..end {
+                                let (report, replayed) = sweep_one(program, trace, &specs[i], tool);
+                                local.push((i, report, replayed));
+                            }
+                        };
                     match scheduler {
                         SweepScheduler::WorkQueue => loop {
-                            let i = queue.fetch_add(1, Ordering::Relaxed);
-                            if i >= specs.len() {
+                            let c = queue.fetch_add(1, Ordering::Relaxed);
+                            if c >= chunks.len() {
                                 break;
                             }
-                            let (report, replayed) =
-                                sweep_one(program, trace, &specs[i], &mut tool);
-                            local.push((i, report, replayed));
+                            run_chunk(chunks[c], &mut local, &mut tool);
                         },
                         SweepScheduler::Strided => {
-                            let mut i = first + t;
-                            while i < specs.len() {
-                                let (report, replayed) =
-                                    sweep_one(program, trace, &specs[i], &mut tool);
-                                local.push((i, report, replayed));
-                                i += threads;
+                            let mut c = t;
+                            while c < chunks.len() {
+                                run_chunk(chunks[c], &mut local, &mut tool);
+                                c += threads;
                             }
                         }
                     }
@@ -354,6 +442,7 @@ pub fn exhaustive_check_parallel(
         replayed,
         k,
         m,
+        claims,
         spplus_checks: base_checks + sweep_checks,
         timing: SweepTiming {
             record_ns,
@@ -562,6 +651,106 @@ mod tests {
             distinct >= lower,
             "elicited {distinct} ops, expected at least C({k},3) = {lower}"
         );
+    }
+
+    #[test]
+    fn chunk_plan_follows_spec_families() {
+        // A realistic plan: None + 20 update specs + reduce specs.
+        let stats = RunStats {
+            max_sync_block: 4,
+            max_spawn_count: 20,
+            ..RunStats::default()
+        };
+        let (specs, _, _) = plan_specs(&stats, &CoverageOptions::default());
+        let chunks = plan_chunks(&specs, 1, ChunkPolicy::Family);
+        // Coverage: contiguous, ordered, exactly once.
+        let mut next = 1;
+        for &(s, e) in &chunks {
+            assert_eq!(s, next, "chunks must tile the spec list");
+            assert!(e > s);
+            next = e;
+        }
+        assert_eq!(next, specs.len());
+        // Cheap chunks batch up to UPDATE_CHUNK; EveryBlock chunks are 1.
+        for &(s, e) in &chunks {
+            let cheap = matches!(specs[s], StealSpec::None | StealSpec::AtSpawnCount(_));
+            if cheap {
+                assert!(e - s <= UPDATE_CHUNK);
+                assert!((s..e)
+                    .all(|i| { matches!(specs[i], StealSpec::None | StealSpec::AtSpawnCount(_)) }));
+            } else {
+                assert_eq!(e - s, 1, "EveryBlock specs must stay chunk=1");
+            }
+        }
+        // The 20-spec update family (minus the record-served index 0)
+        // must collapse into ⌈20/16⌉ = 2 claims, so chunking actually
+        // amortizes the counter.
+        let cheap_chunks = chunks
+            .iter()
+            .filter(|&&(s, _)| matches!(specs[s], StealSpec::AtSpawnCount(_)))
+            .count();
+        assert_eq!(cheap_chunks, 2);
+        // PerSpec and Fixed behave as documented.
+        assert_eq!(
+            plan_chunks(&specs, 1, ChunkPolicy::PerSpec).len(),
+            specs.len() - 1
+        );
+        for (s, e) in plan_chunks(&specs, 1, ChunkPolicy::Fixed(7)) {
+            assert!(e - s <= 7);
+        }
+    }
+
+    #[test]
+    fn chunk_policies_and_threads_agree_byte_for_byte() {
+        // Acceptance: sweep reports byte-identical across thread counts,
+        // schedulers, and chunk sizes. Claims are a pure function of the
+        // plan, so they must agree across thread counts too.
+        let program = |cx: &mut Ctx<'_>| {
+            let a = cx.alloc(1);
+            for i in 0..8 {
+                cx.spawn(move |cx| {
+                    if i == 3 {
+                        cx.write(a, 1);
+                    }
+                });
+            }
+            cx.write(a, 2);
+            cx.sync();
+        };
+        let base = exhaustive_check(program, &CoverageOptions::default());
+        assert!(base.claims < base.runs, "Family chunking must batch claims");
+        for chunking in [
+            ChunkPolicy::PerSpec,
+            ChunkPolicy::Family,
+            ChunkPolicy::Fixed(4),
+        ] {
+            for scheduler in [SweepScheduler::WorkQueue, SweepScheduler::Strided] {
+                for threads in [1, 2, 4] {
+                    let opts = CoverageOptions {
+                        chunking,
+                        scheduler,
+                        ..CoverageOptions::default()
+                    };
+                    let rep = exhaustive_check_parallel(program, &opts, threads);
+                    assert_eq!(
+                        rep.report, base.report,
+                        "{chunking:?}/{scheduler:?}/{threads}"
+                    );
+                    assert_eq!(rep.findings, base.findings);
+                    assert_eq!(rep.runs, base.runs);
+                    assert_eq!(rep.spplus_checks, base.spplus_checks);
+                    assert_eq!(
+                        format!("{}", rep.report),
+                        format!("{}", base.report),
+                        "rendered report must be byte-identical"
+                    );
+                    // Claims depend only on the chunk policy, never on
+                    // threads or scheduler.
+                    let expect_claims = exhaustive_check_parallel(program, &opts, 1).claims;
+                    assert_eq!(rep.claims, expect_claims);
+                }
+            }
+        }
     }
 
     #[test]

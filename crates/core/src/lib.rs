@@ -50,8 +50,8 @@ pub mod sporder;
 pub mod spplus;
 
 pub use coverage::{
-    exhaustive_check, exhaustive_check_parallel, minimize_spec, CoverageOptions, ExhaustiveReport,
-    SweepScheduler, SweepTiming,
+    exhaustive_check, exhaustive_check_parallel, minimize_spec, ChunkPolicy, CoverageOptions,
+    ExhaustiveReport, SweepScheduler, SweepTiming,
 };
 pub use peerset::PeerSet;
 pub use report::{AccessInfo, DeterminacyRace, RaceReport, ViewReadRace};

@@ -66,15 +66,25 @@ fn cmd_suite(o: &SuiteOpts) {
         max_k: o.max_k,
         max_spawn_count: o.max_spawn_count,
         replay: !o.reexecute,
+        scheduler: if o.strided {
+            rader::core::SweepScheduler::Strided
+        } else {
+            rader::core::SweepScheduler::WorkQueue
+        },
+        chunking: match o.chunk {
+            Some(n) => rader::core::ChunkPolicy::Fixed(n),
+            None => rader::core::ChunkPolicy::Family,
+        },
     };
     let report = suite::run_suite(&table, &opts);
     println!(
-        "{:<10} {:>8} {:>10} {:>6} {:>8} {:>4} {:>4} {:>10} {:>11} {:>9} {:>9} {:>8}  verdict",
+        "{:<10} {:>8} {:>10} {:>6} {:>8} {:>6} {:>4} {:>4} {:>10} {:>11} {:>9} {:>9} {:>8}  verdict",
         "benchmark",
         "frames",
         "accesses",
         "runs",
         "replayed",
+        "claims",
         "K",
         "M",
         "peer-set",
@@ -85,12 +95,13 @@ fn cmd_suite(o: &SuiteOpts) {
     );
     for w in &report.workloads {
         println!(
-            "{:<10} {:>8} {:>10} {:>6} {:>8} {:>4} {:>4} {:>10} {:>11} {:>9} {:>9} {:>8}  {}",
+            "{:<10} {:>8} {:>10} {:>6} {:>8} {:>6} {:>4} {:>4} {:>10} {:>11} {:>9} {:>9} {:>8}  {}",
             w.name,
             w.frames,
             w.accesses,
             w.runs,
             w.replayed,
+            w.claims,
             w.k,
             w.m,
             w.peer_set_checks,
@@ -105,8 +116,19 @@ fn cmd_suite(o: &SuiteOpts) {
             }
         );
     }
+    // Scaling smoke: exercise the work-stealing pool and report steal
+    // traffic. Scheduling-dependent numbers stay on stdout only; the
+    // JSON report must remain deterministic.
+    let pool = suite::pool_smoke(opts.threads);
+    println!(
+        "pool-smoke: queue={:?} workers={} tasks={} steals={} retries={}",
+        pool.queue, pool.workers, pool.tasks, pool.steals, pool.steal_retries
+    );
     for w in report.workloads.iter().filter(|w| !w.clean()) {
         println!("\n## {} races", w.name);
+        if let Some(min) = &w.minimized {
+            println!("minimized reproducer: {min}");
+        }
         print!("{}", w.report);
     }
     if let Some(path) = &o.json {

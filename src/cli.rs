@@ -16,8 +16,12 @@ pub const USAGE: &str = "usage: rader <command> [options]
   fig1                         detect the paper's Figure-1 races
   suite [--paper] [--racy] [--json PATH] [--threads N]
         [--max-k N] [--max-spawn-count N] [--reexecute]
+        [--strided] [--chunk N]
                                run the benchmark table under the full
-                               Section-7 sweep; exit 1 if races found
+                               Section-7 sweep; exit 1 if races found.
+                               --strided uses round-robin scheduling,
+                               --chunk fixes the claim chunk size
+                               (default: family-sized chunks)
   synth --seed N [--aliasing] [--dot]
                                generate & exhaustively check a random program
   exhaustive [--reexecute] [--threads N] [--max-k N] [--max-spawn-count N]
@@ -67,6 +71,11 @@ pub struct SuiteOpts {
     pub max_k: Option<u32>,
     /// Cap on the update-family spawn count `M`.
     pub max_spawn_count: Option<u32>,
+    /// Use the static round-robin sweep scheduler instead of the shared
+    /// work queue.
+    pub strided: bool,
+    /// Fixed claim chunk size (overrides the family-sized default).
+    pub chunk: Option<usize>,
 }
 
 /// Options for `rader synth`.
@@ -139,6 +148,8 @@ fn parse_suite(args: &[String]) -> Result<SuiteOpts, String> {
             "--max-spawn-count" => {
                 o.max_spawn_count = Some(take_positive(args, &mut i, "--max-spawn-count")? as u32)
             }
+            "--strided" => o.strided = true,
+            "--chunk" => o.chunk = Some(take_positive(args, &mut i, "--chunk")?),
             other => return Err(format!("unknown argument {other:?} for `rader suite`")),
         }
         i += 1;
@@ -250,6 +261,13 @@ mod tests {
         assert_eq!(o.threads, Some(4));
         assert_eq!(o.max_k, Some(6));
         assert!(o.racy && !o.paper);
+        assert!(!o.strided);
+        assert_eq!(o.chunk, None);
+        let Ok(Command::Suite(o)) = parse_strs(&["suite", "--strided", "--chunk", "8"]) else {
+            panic!("suite scheduling flags did not parse");
+        };
+        assert!(o.strided);
+        assert_eq!(o.chunk, Some(8));
     }
 
     #[test]
@@ -276,6 +294,8 @@ mod tests {
         assert!(err.contains("--max-spawn-count"), "{err}");
         let err = parse_strs(&["suite", "--json"]).unwrap_err();
         assert!(err.contains("--json requires a file path"), "{err}");
+        let err = parse_strs(&["suite", "--chunk", "0"]).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
     }
 
     #[test]

@@ -32,8 +32,11 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use rader_cilk::par::{ParRuntime, PoolStats};
 use rader_cilk::SerialEngine;
-use rader_core::{coverage, CoverageOptions, ExhaustiveReport, PeerSet, RaceReport};
+use rader_core::{
+    coverage, ChunkPolicy, CoverageOptions, ExhaustiveReport, PeerSet, RaceReport, SweepScheduler,
+};
 use rader_workloads::Workload;
 
 /// Options for [`run_suite`].
@@ -47,6 +50,10 @@ pub struct SuiteOptions {
     pub max_spawn_count: Option<u32>,
     /// Use the record/replay fast path (`false`: re-execute per spec).
     pub replay: bool,
+    /// How the sweep distributes spec chunks over threads.
+    pub scheduler: SweepScheduler,
+    /// How the sweep batches spec indices into claims.
+    pub chunking: ChunkPolicy,
 }
 
 impl Default for SuiteOptions {
@@ -58,6 +65,8 @@ impl Default for SuiteOptions {
             max_k: None,
             max_spawn_count: None,
             replay: true,
+            scheduler: SweepScheduler::WorkQueue,
+            chunking: ChunkPolicy::Family,
         }
     }
 }
@@ -79,8 +88,16 @@ pub struct WorkloadVerdict {
     pub k: u32,
     /// Measured (capped) maximum spawn count `M`.
     pub m: u32,
+    /// Chunk claims the sweep performed (deterministic: a pure function
+    /// of the spec plan and chunk policy; `claims < runs` whenever
+    /// chunked claiming amortized the shared counter).
+    pub claims: usize,
     /// Total distinct races across both detectors.
     pub races: usize,
+    /// ddmin-minimized reproducer spec for the first racy finding
+    /// (`None` when the workload is clean). Deterministic: the sweep's
+    /// findings are in spec order and the minimizer is greedy.
+    pub minimized: Option<String>,
     /// Peer-Set membership checks performed.
     pub peer_set_checks: u64,
     /// SP+ access checks performed across the whole sweep.
@@ -126,23 +143,30 @@ impl SuiteReport {
             if i > 0 {
                 out.push_str(",\n");
             }
+            let minimized = match &w.minimized {
+                Some(s) => format!("\"{}\"", json_escape(s)),
+                None => "null".to_string(),
+            };
             let _ = write!(
                 out,
                 "  {{\"name\": \"{}\", \"clean\": {}, \"races\": {}, \"runs\": {}, \
-                 \"replayed\": {}, \"k\": {}, \"m\": {}, \"frames\": {}, \"accesses\": {}, \
-                 \"peer_set_checks\": {}, \"spplus_checks\": {}, \"wall_ns\": {}, \
+                 \"replayed\": {}, \"claims\": {}, \"k\": {}, \"m\": {}, \"frames\": {}, \
+                 \"accesses\": {}, \"peer_set_checks\": {}, \"spplus_checks\": {}, \
+                 \"minimized\": {}, \"wall_ns\": {}, \
                  \"record_ns\": {}, \"sweep_ns\": {}, \"merge_ns\": {}}}",
                 json_escape(&w.name),
                 w.clean(),
                 w.races,
                 w.runs,
                 w.replayed,
+                w.claims,
                 w.k,
                 w.m,
                 w.frames,
                 w.accesses,
                 w.peer_set_checks,
                 w.spplus_checks,
+                minimized,
                 w.wall_ns,
                 w.record_ns,
                 w.sweep_ns,
@@ -164,6 +188,8 @@ pub fn check_workload(w: &Workload, opts: &SuiteOptions) -> WorkloadVerdict {
         max_k: opts.max_k,
         max_spawn_count: opts.max_spawn_count,
         replay: opts.replay,
+        scheduler: opts.scheduler,
+        chunking: opts.chunking,
         ..CoverageOptions::default()
     };
     let sweep: ExhaustiveReport =
@@ -171,6 +197,13 @@ pub fn check_workload(w: &Workload, opts: &SuiteOptions) -> WorkloadVerdict {
     let mut report = peers.report().clone();
     report.merge(&sweep.report);
     let races = report.determinacy.len() + report.view_read.len();
+    // Minimize the first racy finding into a regression-ready reproducer
+    // (the ROADMAP item): findings are in deterministic spec order and
+    // ddmin is greedy, so the minimized spec is stable across runs.
+    let minimized = sweep
+        .findings
+        .first()
+        .map(|(spec, _)| format!("{:?}", coverage::minimize_spec(|cx| (w.run)(cx), spec)));
     WorkloadVerdict {
         name: w.name.to_string(),
         frames: stats.frames,
@@ -179,7 +212,9 @@ pub fn check_workload(w: &Workload, opts: &SuiteOptions) -> WorkloadVerdict {
         replayed: sweep.replayed,
         k: sweep.k,
         m: sweep.m,
+        claims: sweep.claims,
         races,
+        minimized,
         peer_set_checks: peers.checks,
         spplus_checks: sweep.spplus_checks,
         wall_ns: wall.elapsed().as_nanos() as u64,
@@ -195,6 +230,38 @@ pub fn run_suite(workloads: &[Workload], opts: &SuiteOptions) -> SuiteReport {
     SuiteReport {
         workloads: workloads.iter().map(|w| check_workload(w, opts)).collect(),
     }
+}
+
+/// Exercise the work-stealing pool with a spawn-heavy calibration
+/// program and return its [`PoolStats`] — the suite's scaling smoke:
+/// at `workers ≥ 2` a healthy pool must record steals. Each task does
+/// enough work for sleeping helpers to wake and steal; statistically
+/// certain but not guaranteed per run, so retry a few times (the same
+/// discipline as the runtime's own distribution test).
+///
+/// The numbers are scheduling-dependent, so they are printed to stdout
+/// only — never serialized into the suite's deterministic `--json`
+/// output.
+pub fn pool_smoke(workers: usize) -> PoolStats {
+    let mut stats = PoolStats::default();
+    for _ in 0..10 {
+        let rt = ParRuntime::new(workers);
+        let (s, _) = rt.run(|cx| {
+            cx.par_for(0..512, 1, move |cx, _| {
+                let mut acc = 0u64;
+                for i in 0..20_000 {
+                    acc = acc.wrapping_mul(31).wrapping_add(i);
+                }
+                let cell = cx.alloc(1);
+                cx.write(cell, (acc % 5) as rader_cilk::Word);
+            });
+        });
+        stats = s;
+        if workers < 2 || stats.steals > 0 {
+            break;
+        }
+    }
+    stats
 }
 
 /// Escape a string for a JSON string literal.

@@ -188,6 +188,67 @@ fn schedulers_agree_on_findings() {
     assert_eq!(queue.spplus_checks, strided.spplus_checks);
 }
 
+/// Zero the wall-clock fields — the only nondeterministic data in a
+/// suite report — so `to_json()` output can be compared byte-for-byte.
+fn zero_timings(rep: &mut suite::SuiteReport) {
+    for w in &mut rep.workloads {
+        w.wall_ns = 0;
+        w.record_ns = 0;
+        w.sweep_ns = 0;
+        w.merge_ns = 0;
+    }
+}
+
+#[test]
+fn suite_json_is_byte_identical_across_threads_and_schedulers() {
+    // With chunked claiming, the set of claims is a pure function of
+    // the spec list and chunk policy — not of which thread won which
+    // claim. So the entire JSON report (including the new `claims`
+    // field) must be byte-identical across thread counts and both
+    // schedulers, once timings are zeroed.
+    use rader::core::{ChunkPolicy, SweepScheduler};
+    let workloads = [interior_workload()];
+    // `claims` is the chunk count, which by design depends on the
+    // chunking policy — so byte-identity is pinned per policy, across
+    // every thread count and both schedulers.
+    for chunking in [
+        ChunkPolicy::Family,
+        ChunkPolicy::PerSpec,
+        ChunkPolicy::Fixed(3),
+    ] {
+        let mut baseline = suite::run_suite(
+            &workloads,
+            &SuiteOptions {
+                threads: 1,
+                chunking,
+                ..SuiteOptions::default()
+            },
+        );
+        zero_timings(&mut baseline);
+        let want = baseline.to_json();
+        for threads in [2, 4] {
+            for scheduler in [SweepScheduler::WorkQueue, SweepScheduler::Strided] {
+                let mut rep = suite::run_suite(
+                    &workloads,
+                    &SuiteOptions {
+                        threads,
+                        scheduler,
+                        chunking,
+                        ..SuiteOptions::default()
+                    },
+                );
+                zero_timings(&mut rep);
+                assert_eq!(
+                    rep.to_json(),
+                    want,
+                    "suite JSON diverged at threads={threads} \
+                     scheduler={scheduler:?} chunking={chunking:?}"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn suite_json_reports_the_racy_entry() {
     let rep = suite::run_suite(&[interior_workload()], &SuiteOptions::default());

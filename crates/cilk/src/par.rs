@@ -37,7 +37,9 @@
 //! measures against. Idle workers park on a [`Condvar`] with a short
 //! timeout instead of spinning, and every `spawn` wakes one sleeper.
 
+use std::any::Any;
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::time::Duration;
@@ -226,6 +228,36 @@ struct RtShared {
     steals: AtomicUsize,
     steal_retries: AtomicUsize,
     tasks: AtomicUsize,
+    /// Payloads of jobs that panicked, awaiting re-raise at a `sync`.
+    /// A panicking job used to leave its parent's `pending` count stuck
+    /// above zero, hanging the spawner's `sync()` forever; now the
+    /// payload is parked here and the count still drops (see
+    /// [`run_job`]), so joins complete and the panic surfaces on the
+    /// caller instead.
+    panics: Mutex<Vec<Box<dyn Any + Send>>>,
+    /// Fast-path flag: true while `panics` may be nonempty, so the sync
+    /// spin loop checks one atomic, not a mutex, per iteration.
+    panicked: AtomicBool,
+}
+
+/// Take one parked panic payload, if any (cheap when none).
+fn take_panic(rt: &RtShared) -> Option<Box<dyn Any + Send>> {
+    if !rt.panicked.load(Ordering::Acquire) {
+        return None;
+    }
+    let mut panics = lock(&rt.panics);
+    let payload = panics.pop();
+    if panics.is_empty() {
+        rt.panicked.store(false, Ordering::Release);
+    }
+    payload
+}
+
+/// Park a panic payload for the next `sync` to re-raise.
+fn store_panic(rt: &RtShared, payload: Box<dyn Any + Send>) {
+    lock(&rt.panics).push(payload);
+    rt.panicked.store(true, Ordering::Release);
+    rt.parker.unpark_all();
 }
 
 impl RtShared {
@@ -374,13 +406,31 @@ impl<'rt> ParCtx<'rt> {
 
     /// Wait for all spawned children of this frame; fold the block's view
     /// slots in serial order.
+    ///
+    /// If any job panicked, the join still completes (panicked jobs
+    /// decrement their parent's pending count like normal ones) and the
+    /// panic payload is re-raised here, on the syncing caller — the
+    /// whole run is doomed, so the nearest join propagates it rather
+    /// than spinning forever on a count that will never reach zero.
     pub fn sync(&mut self) {
-        while self.frame.pending.load(Ordering::Acquire) != 0 {
+        loop {
+            if let Some(payload) = take_panic(self.rt) {
+                resume_unwind(payload);
+            }
+            if self.frame.pending.load(Ordering::Acquire) == 0 {
+                break;
+            }
             if let Some(job) = find_job(self.rt, self.worker_index) {
                 run_job(self.rt, self.worker_index, job);
             } else {
                 std::thread::yield_now();
             }
+        }
+        // A child's payload is stored before its final decrement, so
+        // after observing pending == 0 (Acquire) one more check is
+        // guaranteed to see any panic from this frame's children.
+        if let Some(payload) = take_panic(self.rt) {
+            resume_unwind(payload);
         }
         fold_slot(self.rt, &self.block_slot);
         self.slot = self.block_slot.clone();
@@ -478,19 +528,31 @@ fn find_job(rt: &RtShared, worker_index: usize) -> Option<Job> {
 }
 
 fn run_job(rt: &RtShared, worker_index: usize, job: Job) {
-    let child_frame = Arc::new(FrameNode {
-        pending: AtomicUsize::new(0),
-    });
-    let mut cx = ParCtx {
-        rt,
-        worker_index,
-        frame: child_frame,
-        block_slot: job.slot.clone(),
-        slot: job.slot,
-    };
-    (job.f)(&mut cx);
-    cx.sync(); // implicit sync before a Cilk function returns
-    job.frame.pending.fetch_sub(1, Ordering::AcqRel);
+    let parent = job.frame;
+    let slot = job.slot;
+    let f = job.f;
+    let result = catch_unwind(AssertUnwindSafe(move || {
+        let child_frame = Arc::new(FrameNode {
+            pending: AtomicUsize::new(0),
+        });
+        let mut cx = ParCtx {
+            rt,
+            worker_index,
+            frame: child_frame,
+            block_slot: slot.clone(),
+            slot,
+        };
+        f(&mut cx);
+        cx.sync(); // implicit sync before a Cilk function returns
+    }));
+    // Park the payload *before* the decrement, so a parent that
+    // observes pending == 0 is guaranteed to see it; then decrement
+    // unconditionally — a panicking job must still count as joined or
+    // the spawner's `sync` spins forever.
+    if let Err(payload) = result {
+        store_panic(rt, payload);
+    }
+    parent.pending.fetch_sub(1, Ordering::AcqRel);
 }
 
 /// Statistics from a parallel run.
@@ -581,10 +643,12 @@ impl ParRuntime {
             steals: AtomicUsize::new(0),
             steal_retries: AtomicUsize::new(0),
             tasks: AtomicUsize::new(0),
+            panics: Mutex::new(Vec::new()),
+            panicked: AtomicBool::new(false),
         };
         let nworkers = self.workers;
 
-        let result = std::thread::scope(|scope| {
+        let outcome = std::thread::scope(|scope| {
             // Helper workers: steal and run jobs until shutdown.
             for i in 1..nworkers {
                 let rt = &rt;
@@ -598,24 +662,41 @@ impl ParRuntime {
                     }
                 });
             }
-            // Worker 0 runs the root frame.
-            let root_frame = Arc::new(FrameNode {
-                pending: AtomicUsize::new(0),
-            });
-            let root_slot = Slot::new();
-            let mut cx = ParCtx {
-                rt: &rt,
-                worker_index: 0,
-                frame: root_frame,
-                block_slot: root_slot.clone(),
-                slot: root_slot,
-            };
-            let r = program(&mut cx);
-            cx.sync();
+            // Worker 0 runs the root frame. Catch its unwind — whether
+            // from the program itself or a worker panic re-raised at the
+            // root sync — so shutdown is signalled on every path; an
+            // unwind that escaped this closure before setting `shutdown`
+            // would leave the helper threads looping and deadlock the
+            // scope's implicit join.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let root_frame = Arc::new(FrameNode {
+                    pending: AtomicUsize::new(0),
+                });
+                let root_slot = Slot::new();
+                let mut cx = ParCtx {
+                    rt: &rt,
+                    worker_index: 0,
+                    frame: root_frame,
+                    block_slot: root_slot.clone(),
+                    slot: root_slot,
+                };
+                let r = program(&mut cx);
+                cx.sync();
+                r
+            }));
             rt.shutdown.store(true, Ordering::Release);
             rt.parker.unpark_all();
-            r
+            outcome
         });
+        // Helpers are joined; re-raise on the caller. Queued-but-unrun
+        // jobs are dropped with `rt`, so shutdown stays leak-exact.
+        let result = match outcome {
+            Ok(r) => r,
+            Err(payload) => resume_unwind(payload),
+        };
+        if let Some(payload) = take_panic(&rt) {
+            resume_unwind(payload);
+        }
 
         let stats = PoolStats {
             steals: rt.steals.load(Ordering::Relaxed),

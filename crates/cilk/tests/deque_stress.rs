@@ -9,10 +9,12 @@
 //! sequential model check against `VecDeque`.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use rader_cilk::deque::{ChaseLev, Steal};
+use rader_cilk::par::{ParRuntime, QueueKind};
 use rader_rng::Rng;
 
 /// Steal until `Empty`, retrying lost races, appending into `out`.
@@ -189,6 +191,60 @@ fn single_thief_observes_fifo_order() {
                 w[1]
             );
         }
+    }
+}
+
+/// A panicking job must surface on the caller of [`ParRuntime::run`] —
+/// not hang the spawner's `sync` forever (the pre-fix behavior: the
+/// unwound job never decremented its parent's pending count) — and the
+/// pool must still shut down leak-exact: every queued-but-unrun job's
+/// captures dropped, every helper thread joined. The `Arc` sentinel held
+/// by all 64 jobs pins the leak-exactness; the test completing at all
+/// pins the no-hang claim. Runs on both queue implementations.
+#[test]
+fn worker_panic_propagates_to_caller_and_shuts_down_leak_exact() {
+    for kind in [QueueKind::ChaseLev, QueueKind::Mutex] {
+        let sentinel = Arc::new(());
+        let result = {
+            let sentinel = sentinel.clone();
+            catch_unwind(AssertUnwindSafe(move || {
+                let rt = ParRuntime::new(4).with_queue(kind);
+                rt.run(move |cx| {
+                    for i in 0..64usize {
+                        let token = sentinel.clone();
+                        cx.spawn(move |cx| {
+                            // Nested spawn so the panic crosses a frame
+                            // boundary: the grandchild unwinds, the
+                            // child's implicit sync re-raises, and the
+                            // root sync re-raises again.
+                            let token = token;
+                            cx.spawn(move |_| {
+                                let _held = token;
+                                if i == 13 {
+                                    panic!("worker panic 13");
+                                }
+                            });
+                            cx.sync();
+                        });
+                    }
+                    cx.sync();
+                });
+            }))
+        };
+        let payload = match result {
+            Err(payload) => payload,
+            Ok(()) => panic!("kind={kind:?}: panic did not propagate"),
+        };
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or_else(|| panic!("kind={kind:?}: non-str panic payload"));
+        assert_eq!(msg, "worker panic 13", "kind={kind:?}");
+        assert_eq!(
+            Arc::strong_count(&sentinel),
+            1,
+            "kind={kind:?}: shutdown leaked job captures"
+        );
     }
 }
 

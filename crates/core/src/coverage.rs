@@ -20,15 +20,18 @@
 //! base case and merges the reports, giving the paper's coverage
 //! guarantee for races involving at least one view-oblivious strand.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rader_cilk::{
     BlockOp, BlockScript, Ctx, Loc, ProgramTrace, RunStats, SerialEngine, StealSpec, ViewMem,
     ViewMonoid, Word,
 };
 
+use crate::fault::{Fault, FaultPlan};
+use crate::journal::{self, CheckpointPolicy, ChunkRecord, JournalWriter, SpecOutcome};
 use crate::report::{RaceReport, ReportMerger};
 use crate::spplus::SpPlus;
 
@@ -142,6 +145,87 @@ fn plan_chunks(specs: &[StealSpec], first: usize, policy: ChunkPolicy) -> Vec<(u
         i += len;
     }
     chunks
+}
+
+/// Fault-tolerance controls for [`exhaustive_check_parallel_ctl`] —
+/// everything about a sweep that is *not* part of its coverage plan.
+/// Kept separate from [`CoverageOptions`] (which stays `Copy` and fully
+/// determines the spec list) so the checkpoint fingerprint can bind to
+/// the plan while the controls vary freely across a record/resume pair.
+#[derive(Clone, Debug, Default)]
+pub struct SweepControl {
+    /// Stream completed chunks to a journal, or resume from one.
+    pub checkpoint: CheckpointPolicy,
+    /// Stop claiming new chunks once this much wall-clock time has
+    /// elapsed; the report comes back with `partial: true` and the
+    /// uncovered spec families enumerated. Claims are reordered by
+    /// marginal coverage — update family first, then reduce triples,
+    /// then pairs/singletons — so the time that *is* spent buys the
+    /// broadest families.
+    pub budget: Option<Duration>,
+    /// Deterministically inject faults at spec boundaries (testing the
+    /// quarantine and journaling machinery).
+    pub faults: Option<FaultPlan>,
+    /// Name mixed into the checkpoint fingerprint (the suite passes the
+    /// workload name) so one workload's journal can never resume
+    /// another's sweep.
+    pub label: String,
+}
+
+/// A specification whose SP+ run panicked. The sweep survives — the
+/// worker catches the unwind, the spec is excluded from the merged
+/// report, and the poisoned spec is surfaced here with its payload and a
+/// ddmin-minimized reproducer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Quarantined {
+    /// Index of the spec in the sweep's plan.
+    pub spec_index: usize,
+    /// The specification whose run panicked.
+    pub spec: StealSpec,
+    /// Stringified panic payload.
+    pub payload: String,
+    /// Smallest `EveryBlock` script that still panics (the spec itself
+    /// for other kinds, or when the panic was injected by index and so
+    /// does not depend on the script at all).
+    pub minimized: StealSpec,
+}
+
+/// Human-readable coverage family of a spec, for `uncovered` summaries.
+fn family_name(spec: &StealSpec) -> &'static str {
+    match spec {
+        StealSpec::None => "no-steal base",
+        StealSpec::AtSpawnCount(_) => "AtSpawnCount updates (Theorem 6)",
+        StealSpec::Random { .. } => "Random",
+        StealSpec::EveryBlock(s) => match s.steal_count() {
+            3.. => "EveryBlock reduce triples (Theorem 7)",
+            2 => "EveryBlock pairs",
+            _ => "EveryBlock singletons",
+        },
+    }
+}
+
+/// The order in which chunks are claimed. Without a budget this is the
+/// plan order. Under a budget, chunks are stably reordered by marginal
+/// coverage per unit cost: the Θ(M) `AtSpawnCount` update family first
+/// (each spec covers a whole P-depth of update strands and replays in
+/// microseconds), then the Θ(K³) `EveryBlock` reduce triples (kept in
+/// generation order, which groups them by leading block boundary), then
+/// the pairs and singletons. A deadline that lands mid-sweep therefore
+/// truncates the *narrowest* families, and the `uncovered` summary says
+/// exactly which.
+fn claim_order(specs: &[StealSpec], chunks: &[(usize, usize)], prioritize: bool) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..chunks.len()).collect();
+    if prioritize {
+        let class = |&c: &usize| -> u8 {
+            match &specs[chunks[c].0] {
+                StealSpec::None | StealSpec::AtSpawnCount(_) => 0,
+                StealSpec::EveryBlock(s) if s.steal_count() >= 3 => 1,
+                _ => 2,
+            }
+        };
+        order.sort_by_key(class); // stable: generation order within class
+    }
+    order
 }
 
 /// Options for [`exhaustive_check`].
@@ -281,6 +365,22 @@ pub struct ExhaustiveReport {
     /// Total SP+ access checks performed across every run of the sweep
     /// (including the record pass and any divergence fallbacks).
     pub spplus_checks: u64,
+    /// True if some planned specifications were neither swept nor
+    /// quarantined — a time budget expired before the sweep finished.
+    /// The coverage guarantee then holds only for the swept families;
+    /// `uncovered` names the rest. An uninterrupted, fault-free sweep
+    /// always reports `partial: false`.
+    pub partial: bool,
+    /// Per-family counts of planned-but-unswept specifications, e.g.
+    /// `"EveryBlock reduce triples (Theorem 7): 12 of 20 unswept"`.
+    /// Empty iff `partial` is false.
+    pub uncovered: Vec<String>,
+    /// Specifications whose SP+ run panicked, with payloads and
+    /// minimized reproducers. Their reports are *excluded* from the
+    /// merged report (a panicking run proves nothing about races), so a
+    /// nonempty quarantine also weakens the coverage guarantee — but the
+    /// sweep itself runs to completion.
+    pub quarantined: Vec<Quarantined>,
     /// Per-phase wall-clock breakdown of this sweep.
     pub timing: SweepTiming,
 }
@@ -295,6 +395,63 @@ impl ExhaustiveReport {
         SerialEngine::with_spec(finding.0.clone()).run_tool(&mut tool, program);
         tool.into_report()
     }
+
+    /// Serialize the sweep summary as a JSON object. Carries the same
+    /// `schema_version` as the checkpoint journal and the suite report
+    /// ([`journal::SCHEMA_VERSION`]), so consumers can detect format
+    /// changes; fully deterministic (no timings — those live in
+    /// [`ExhaustiveReport::timing`] precisely because they are not).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let uncovered = self
+            .uncovered
+            .iter()
+            .map(|u| format!("\"{}\"", json_escape(u)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"schema_version\": {}, \"runs\": {}, \"replayed\": {}, \
+             \"k\": {}, \"m\": {}, \"claims\": {}, \"spplus_checks\": {}, \
+             \"findings\": {}, \"races\": {}, \"partial\": {}, \
+             \"uncovered\": [{}], \"quarantined\": {}}}\n",
+            journal::SCHEMA_VERSION,
+            self.runs,
+            self.replayed,
+            self.k,
+            self.m,
+            self.claims,
+            self.spplus_checks,
+            self.findings.len(),
+            self.report.determinacy.len() + self.report.view_read.len(),
+            self.partial,
+            uncovered,
+            self.quarantined.len(),
+        );
+        out
+    }
+}
+
+/// Escape a string for a JSON string literal (sweep family names and
+/// panic payloads may contain arbitrary text).
+fn json_escape(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Run SP+ under the Section-7 specification families (plus the no-steal
@@ -337,12 +494,159 @@ pub fn exhaustive_check_parallel(
     opts: &CoverageOptions,
     threads: usize,
 ) -> ExhaustiveReport {
+    exhaustive_check_parallel_ctl(program, opts, threads, &SweepControl::default())
+        .expect("a sweep without a checkpoint journal cannot fail")
+}
+
+/// Convert a caught panic payload to a displayable string.
+fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// ddmin a *panicking* `EveryBlock` spec: greedily drop script actions
+/// while re-running the program under the candidate still panics. The
+/// quarantine analogue of [`minimize_spec`] (which needs a surviving
+/// race report and so cannot run on a spec whose run dies). Non-
+/// `EveryBlock` specs pass through unchanged; so does an `EveryBlock`
+/// whose panic was injected by spec *index* (`injected`) — every
+/// candidate would "panic", so ddmin would bottom out at the empty
+/// script, truthfully but uselessly.
+fn minimize_panicking_spec(
+    program: &(impl Fn(&mut Ctx<'_>) + Sync),
+    spec: &StealSpec,
+    injected: bool,
+) -> StealSpec {
+    let StealSpec::EveryBlock(script) = spec else {
+        return spec.clone();
+    };
+    if injected {
+        return spec.clone();
+    }
+    let still_panics = |ops: &[BlockOp]| -> bool {
+        let candidate = StealSpec::EveryBlock(BlockScript::new(ops.to_vec()));
+        catch_unwind(AssertUnwindSafe(|| {
+            let mut tool = SpPlus::new();
+            SerialEngine::with_spec(candidate).run_tool(&mut tool, program);
+        }))
+        .is_err()
+    };
+    let mut ops: Vec<BlockOp> = script.ops().to_vec();
+    loop {
+        let mut shrunk = false;
+        let mut i = 0;
+        while i < ops.len() {
+            let mut trial = ops.clone();
+            trial.remove(i);
+            if still_panics(&trial) {
+                ops = trial;
+                shrunk = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+    StealSpec::EveryBlock(BlockScript::new(ops))
+}
+
+/// Sweep one chunk of specs with a pooled tool, isolating per-spec
+/// panics: an unwinding run (misbehaving monoid body, or an injected
+/// [`Fault::Panic`]) is caught, the spec is quarantined with its payload
+/// and a minimized reproducer, and the pooled tool is retired for a
+/// fresh one (its detection state is suspect after an unwind; its check
+/// count — deterministic even for the partial run — carries forward).
+fn sweep_chunk(
+    program: &(impl Fn(&mut Ctx<'_>) + Sync),
+    trace: Option<&ProgramTrace>,
+    specs: &[StealSpec],
+    chunk_index: usize,
+    span: (usize, usize),
+    tool: &mut SpPlus,
+    faults: Option<&FaultPlan>,
+) -> ChunkRecord {
+    let (start, end) = span;
+    let before = tool.checks;
+    let mut outcomes = Vec::with_capacity(end - start);
+    for i in start..end {
+        let fault = faults.map_or(Fault::None, |f| f.fault_for(i));
+        if let Fault::Delay(d) = fault {
+            std::thread::sleep(d);
+        }
+        let injected = matches!(fault, Fault::Panic);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if injected {
+                panic!(
+                    "injected fault at spec {i} (seed {})",
+                    faults.map_or(0, FaultPlan::seed)
+                );
+            }
+            sweep_one(program, trace, &specs[i], tool)
+        }));
+        match result {
+            Ok((report, replayed)) => outcomes.push(SpecOutcome::Checked { report, replayed }),
+            Err(payload) => {
+                let checks = tool.checks;
+                *tool = SpPlus::new();
+                tool.checks = checks;
+                let spec = specs[i].clone();
+                let minimized = minimize_panicking_spec(program, &spec, injected);
+                outcomes.push(SpecOutcome::Quarantined {
+                    spec,
+                    payload: payload_to_string(payload.as_ref()),
+                    minimized,
+                });
+            }
+        }
+    }
+    ChunkRecord {
+        chunk_index,
+        spec_start: start,
+        spec_end: end,
+        checks_delta: tool.checks - before,
+        outcomes,
+    }
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// [`exhaustive_check_parallel`] with fault-tolerance controls: a
+/// checkpoint journal ([`SweepControl::checkpoint`]), a wall-clock
+/// budget ([`SweepControl::budget`]), and deterministic fault injection
+/// ([`SweepControl::faults`]).
+///
+/// Completed chunks stream to the journal as single appends, so a
+/// `SIGKILL` at any moment loses at most the chunks in flight; resuming
+/// validates the journal against the sweep's fingerprint (label, plan-
+/// shaping statistics, spec list, chunk plan), skips the completed
+/// chunks, and — because outcomes re-enter the merge in spec-index
+/// order — produces a final report **byte-identical** to an
+/// uninterrupted run. `Err` is returned only for journal problems
+/// (unreadable, truncated, checksum-corrupt, or fingerprint-mismatched
+/// files); detection itself never errors.
+pub fn exhaustive_check_parallel_ctl(
+    program: impl Fn(&mut Ctx<'_>) + Sync,
+    opts: &CoverageOptions,
+    threads: usize,
+    ctl: &SweepControl,
+) -> Result<ExhaustiveReport, String> {
     // Every sweep starts with the no-steal specification, and recording
     // happens under the no-steal schedule — so in replay mode the record
     // pass *is* the first detection run (the recorder is a passive extra
     // hook on an ordinary SP+ run). With replay disabled, a plain
     // uninstrumented run measures K and M for spec planning instead; it
-    // is not counted in `runs`.
+    // is not counted in `runs`. A resumed sweep repeats this pass — the
+    // journal stores only sweep results, and re-recording keeps the
+    // trace/stats exactly as the interrupted run saw them.
     let record_start = Instant::now();
     let (trace, stats, base, base_checks) = if opts.replay {
         let mut tool = SpPlus::new();
@@ -355,8 +659,7 @@ pub fn exhaustive_check_parallel(
     };
     let record_ns = record_start.elapsed().as_nanos() as u64;
     let (specs, k, m) = plan_specs(&stats, opts);
-    let runs = specs.len();
-    let threads = threads.max(1).min(runs.max(1));
+    let threads = threads.max(1).min(specs.len().max(1));
     // Index 0 (StealSpec::None) is already served when the record pass
     // ran as the first detection run.
     let first = base.is_some() as usize;
@@ -366,76 +669,192 @@ pub fn exhaustive_check_parallel(
     // unit of balance.
     let chunks = plan_chunks(&specs, first, opts.chunking);
     let claims = chunks.len();
+    let order = claim_order(&specs, &chunks, ctl.budget.is_some());
+    let deadline = ctl.budget.and_then(|b| Instant::now().checked_add(b));
+
+    let fp = journal::fingerprint(&ctl.label, &stats, &specs, &chunks);
+    let mut done: std::collections::BTreeMap<usize, ChunkRecord> = Default::default();
+    let writer = match &ctl.checkpoint {
+        CheckpointPolicy::Off => None,
+        CheckpointPolicy::Record(path) => Some(JournalWriter::create(path, fp)?),
+        CheckpointPolicy::Resume(path) => {
+            if path.exists() {
+                let loaded = journal::load(path, fp)?;
+                for (idx, rec) in &loaded.chunks {
+                    if chunks.get(*idx) != Some(&(rec.spec_start, rec.spec_end)) {
+                        return Err(format!(
+                            "{}: journal chunk {idx} does not match the sweep plan",
+                            path.display()
+                        ));
+                    }
+                }
+                done = loaded.chunks;
+                Some(JournalWriter::append(path)?)
+            } else {
+                // Nothing to resume (e.g. the interrupted run never
+                // reached this workload): start a fresh journal.
+                Some(JournalWriter::create(path, fp)?)
+            }
+        }
+    };
+    let writer = writer.map(Mutex::new);
+    let journal_err: Mutex<Option<String>> = Mutex::new(None);
+
     let queue = AtomicUsize::new(0);
     let sweep_start = Instant::now();
-    let (mut results, sweep_checks): (Vec<(usize, RaceReport, bool)>, u64) =
-        std::thread::scope(|scope| {
-            let program = &program;
-            let specs = &specs;
-            let chunks = &chunks;
-            let trace = trace.as_ref();
-            let queue = &queue;
-            let scheduler = opts.scheduler;
-            let mut handles = Vec::new();
-            for t in 0..threads {
-                handles.push(scope.spawn(move || {
-                    let mut tool = SpPlus::new();
-                    let mut local = Vec::new();
-                    let run_chunk =
-                        |(start, end): (usize, usize), local: &mut Vec<_>, tool: &mut SpPlus| {
-                            for i in start..end {
-                                let (report, replayed) = sweep_one(program, trace, &specs[i], tool);
-                                local.push((i, report, replayed));
-                            }
-                        };
-                    match scheduler {
-                        SweepScheduler::WorkQueue => loop {
-                            let c = queue.fetch_add(1, Ordering::Relaxed);
-                            if c >= chunks.len() {
-                                break;
-                            }
-                            run_chunk(chunks[c], &mut local, &mut tool);
-                        },
-                        SweepScheduler::Strided => {
-                            let mut c = t;
-                            while c < chunks.len() {
-                                run_chunk(chunks[c], &mut local, &mut tool);
-                                c += threads;
-                            }
+    let live: Vec<ChunkRecord> = std::thread::scope(|scope| {
+        let program = &program;
+        let specs = &specs[..];
+        let chunks = &chunks[..];
+        let order = &order[..];
+        let done = &done;
+        let trace = trace.as_ref();
+        let queue = &queue;
+        let writer = writer.as_ref();
+        let journal_err = &journal_err;
+        let faults = ctl.faults.as_ref();
+        let scheduler = opts.scheduler;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            handles.push(scope.spawn(move || {
+                let mut tool = SpPlus::new();
+                let mut local: Vec<ChunkRecord> = Vec::new();
+                // Claim the chunk at claim-order position `slot`; false
+                // means stop claiming (deadline hit or journal broken).
+                let work = |slot: usize, local: &mut Vec<ChunkRecord>, tool: &mut SpPlus| {
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        return false;
+                    }
+                    if lock(journal_err).is_some() {
+                        return false; // another worker hit a write error
+                    }
+                    let c = order[slot];
+                    if done.contains_key(&c) {
+                        return true; // already served by the journal
+                    }
+                    let rec = sweep_chunk(program, trace, specs, c, chunks[c], tool, faults);
+                    if let Some(w) = writer {
+                        if let Err(e) = lock(w).write_chunk(&rec) {
+                            *lock(journal_err) = Some(e);
+                            return false;
                         }
                     }
-                    (local, tool.checks)
-                }));
+                    local.push(rec);
+                    true
+                };
+                match scheduler {
+                    SweepScheduler::WorkQueue => loop {
+                        let slot = queue.fetch_add(1, Ordering::Relaxed);
+                        if slot >= order.len() || !work(slot, &mut local, &mut tool) {
+                            break;
+                        }
+                    },
+                    SweepScheduler::Strided => {
+                        let mut slot = t;
+                        while slot < order.len() {
+                            if !work(slot, &mut local, &mut tool) {
+                                break;
+                            }
+                            slot += threads;
+                        }
+                    }
+                }
+                local
+            }));
+        }
+        let mut all = Vec::new();
+        for h in handles {
+            match h.join() {
+                Ok(local) => all.extend(local),
+                Err(payload) => std::panic::resume_unwind(payload),
             }
-            let mut all = Vec::with_capacity(specs.len());
-            let mut checks = 0u64;
-            for h in handles {
-                let (local, c) = h.join().unwrap();
-                all.extend(local);
-                checks += c;
-            }
-            (all, checks)
-        });
-    if let Some(report) = base {
-        results.push((0, report, true));
+        }
+        all
+    });
+    if let Some(err) = journal_err
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    {
+        return Err(err);
     }
-    results.sort_by_key(|(i, _, _)| *i);
     let sweep_ns = sweep_start.elapsed().as_nanos() as u64;
+
+    // Assemble per-spec outcomes from the journal, the live results, and
+    // the base run, then fold in strict spec-index order — this is what
+    // makes resumed, multi-threaded, and budgeted runs merge-identical.
     let merge_start = Instant::now();
+    let mut slots: Vec<Option<SpecOutcome>> = (0..specs.len()).map(|_| None).collect();
+    let mut checks = base_checks;
+    for rec in done.into_values().chain(live) {
+        checks += rec.checks_delta;
+        let start = rec.spec_start;
+        for (off, outcome) in rec.outcomes.into_iter().enumerate() {
+            slots[start + off] = Some(outcome);
+        }
+    }
+    if let Some(report) = base {
+        slots[0] = Some(SpecOutcome::Checked {
+            report,
+            replayed: true,
+        });
+    }
+    let mut fam_order: Vec<&'static str> = Vec::new();
+    let mut fam_counts: std::collections::BTreeMap<&'static str, (usize, usize)> =
+        Default::default();
+    for (i, slot) in slots.iter().enumerate() {
+        let name = family_name(&specs[i]);
+        if !fam_order.contains(&name) {
+            fam_order.push(name);
+        }
+        let entry = fam_counts.entry(name).or_insert((0, 0));
+        entry.1 += 1;
+        if slot.is_none() {
+            entry.0 += 1;
+        }
+    }
+    let uncovered: Vec<String> = fam_order
+        .iter()
+        .filter_map(|name| {
+            let (missing, total) = fam_counts[name];
+            (missing > 0).then(|| format!("{name}: {missing} of {total} unswept"))
+        })
+        .collect();
+    let partial = !uncovered.is_empty();
     let mut merger = ReportMerger::new();
     let mut findings = Vec::new();
-    let mut replayed = 0;
-    for (i, r, via_replay) in results {
-        if via_replay {
-            replayed += 1;
+    let mut quarantined = Vec::new();
+    let mut runs = 0usize;
+    let mut replayed = 0usize;
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(SpecOutcome::Checked {
+                report,
+                replayed: via,
+            }) => {
+                runs += 1;
+                if via {
+                    replayed += 1;
+                }
+                if report.has_races() {
+                    findings.push((specs[i].clone(), report.clone()));
+                }
+                merger.merge(&report);
+            }
+            Some(SpecOutcome::Quarantined {
+                spec,
+                payload,
+                minimized,
+            }) => quarantined.push(Quarantined {
+                spec_index: i,
+                spec,
+                payload,
+                minimized,
+            }),
+            None => {}
         }
-        if r.has_races() {
-            findings.push((specs[i].clone(), r.clone()));
-        }
-        merger.merge(&r);
     }
     let merge_ns = merge_start.elapsed().as_nanos() as u64;
-    ExhaustiveReport {
+    Ok(ExhaustiveReport {
         report: merger.finish(),
         findings,
         runs,
@@ -443,13 +862,16 @@ pub fn exhaustive_check_parallel(
         k,
         m,
         claims,
-        spplus_checks: base_checks + sweep_checks,
+        spplus_checks: checks,
+        partial,
+        uncovered,
+        quarantined,
         timing: SweepTiming {
             record_ns,
             sweep_ns,
             merge_ns,
         },
-    }
+    })
 }
 
 /// Minimize a race-exposing `EveryBlock` steal specification: greedily
@@ -751,6 +1173,259 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Eight spawns, one schedule-independent determinacy race: K = 8,
+    /// M = 8, so the plan has a meaty spec list (1 + 8 + C(8,3) + 28 + 8
+    /// specs) while every run replays in microseconds.
+    fn racy8(cx: &mut Ctx<'_>) {
+        let a = cx.alloc(1);
+        for i in 0..8 {
+            cx.spawn(move |cx| {
+                if i == 3 {
+                    cx.write(a, 1);
+                }
+            });
+        }
+        cx.write(a, 2);
+        cx.sync();
+    }
+
+    fn temp_journal(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("rader-cov-{}-{name}.ckpt", std::process::id()))
+    }
+
+    #[test]
+    fn budget_claim_order_prioritizes_update_family() {
+        let stats = RunStats {
+            max_sync_block: 5,
+            max_spawn_count: 10,
+            ..RunStats::default()
+        };
+        let (specs, _, _) = plan_specs(&stats, &CoverageOptions::default());
+        let chunks = plan_chunks(&specs, 1, ChunkPolicy::PerSpec);
+        let identity: Vec<usize> = (0..chunks.len()).collect();
+        assert_eq!(claim_order(&specs, &chunks, false), identity);
+        let order = claim_order(&specs, &chunks, true);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, identity, "claim order must be a permutation");
+        let class = |c: usize| match &specs[chunks[c].0] {
+            StealSpec::None | StealSpec::AtSpawnCount(_) => 0u8,
+            StealSpec::EveryBlock(s) if s.steal_count() >= 3 => 1,
+            _ => 2,
+        };
+        assert!(
+            order.windows(2).all(|w| class(w[0]) <= class(w[1])),
+            "claims must be grouped update family < triples < pairs/singletons"
+        );
+        assert_eq!(class(order[0]), 0);
+        assert_eq!(class(*order.last().unwrap()), 2);
+        // Stability: triples keep generation order (grouped by leading
+        // boundary), so among class-1 claims the chunk indices ascend.
+        let triples: Vec<usize> = order.iter().copied().filter(|&c| class(c) == 1).collect();
+        assert!(triples.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn zero_budget_reports_partial_with_uncovered_families() {
+        let ctl = SweepControl {
+            budget: Some(Duration::ZERO),
+            ..SweepControl::default()
+        };
+        let rep =
+            exhaustive_check_parallel_ctl(racy8, &CoverageOptions::default(), 2, &ctl).unwrap();
+        assert!(rep.partial);
+        assert_eq!(rep.runs, 1, "only the record pass ran");
+        assert!(rep.quarantined.is_empty());
+        assert!(!rep.uncovered.is_empty());
+        for line in &rep.uncovered {
+            assert!(line.contains("unswept"), "{line}");
+        }
+        // Every family except the record-served base is uncovered.
+        let text = rep.uncovered.join("\n");
+        assert!(text.contains("AtSpawnCount"), "{text}");
+        assert!(text.contains("triples"), "{text}");
+        assert!(!text.contains("no-steal base"), "{text}");
+        // And a completed sweep is never partial.
+        let full = exhaustive_check_parallel(racy8, &CoverageOptions::default(), 2);
+        assert!(!full.partial);
+        assert!(full.uncovered.is_empty());
+    }
+
+    #[test]
+    fn injected_panic_quarantines_exactly_the_targeted_spec() {
+        let opts = CoverageOptions::default();
+        let full = exhaustive_check_parallel(racy8, &opts, 2);
+        let ctl = SweepControl {
+            faults: Some(FaultPlan::new(7).panic_at(5)),
+            ..SweepControl::default()
+        };
+        let rep = exhaustive_check_parallel_ctl(racy8, &opts, 2, &ctl).unwrap();
+        assert_eq!(rep.quarantined.len(), 1);
+        let q = &rep.quarantined[0];
+        assert_eq!(q.spec_index, 5);
+        assert_eq!(q.spec, StealSpec::AtSpawnCount(5));
+        assert!(
+            q.payload.contains("injected fault at spec 5"),
+            "{}",
+            q.payload
+        );
+        assert_eq!(q.minimized, q.spec, "index-keyed faults skip ddmin");
+        // The sweep ran to completion around the poisoned spec.
+        assert!(!rep.partial, "{:?}", rep.uncovered);
+        assert_eq!(rep.runs + 1, full.runs);
+        assert_eq!(rep.k, full.k);
+        // The race is schedule-independent, so losing one update spec
+        // does not lose the finding.
+        assert!(rep.report.has_races());
+        // Quarantine is deterministic across thread counts & schedulers.
+        for threads in [1, 4] {
+            for scheduler in [SweepScheduler::WorkQueue, SweepScheduler::Strided] {
+                let again = exhaustive_check_parallel_ctl(
+                    racy8,
+                    &CoverageOptions { scheduler, ..opts },
+                    threads,
+                    &ctl,
+                )
+                .unwrap();
+                assert_eq!(again.quarantined, rep.quarantined);
+                assert_eq!(again.report, rep.report);
+                assert_eq!(again.spplus_checks, rep.spplus_checks);
+            }
+        }
+    }
+
+    #[test]
+    fn genuine_panic_is_quarantined_with_minimized_script() {
+        use std::sync::Arc as StdArc;
+        // A monoid that panics whenever a reduce with two nonempty
+        // operands executes — any EveryBlock spec with a steal elicits
+        // it; AtSpawnCount specs on this single-update program do not.
+        struct Grenade;
+        impl ViewMonoid for Grenade {
+            fn create_identity(&self, m: &mut ViewMem<'_>) -> Loc {
+                let l = m.alloc(1);
+                m.write(l, 0);
+                l
+            }
+            fn reduce(&self, m: &mut ViewMem<'_>, left: Loc, right: Loc) {
+                let ln = m.read(left);
+                let rn = m.read(right);
+                if ln > 0 && rn > 0 {
+                    panic!("grenade reduce");
+                }
+                m.write(left, ln + rn);
+            }
+            fn update(&self, m: &mut ViewMem<'_>, view: Loc, _op: &[Word]) {
+                let v = m.read(view);
+                m.write(view, v + 1);
+            }
+        }
+        let program = |cx: &mut Ctx<'_>| {
+            let h = cx.new_reducer(StdArc::new(Grenade));
+            for i in 0..3 as Word {
+                cx.spawn(move |cx| cx.reducer_update(h, &[i]));
+            }
+            cx.sync();
+        };
+        let rep = exhaustive_check_parallel_ctl(
+            program,
+            &CoverageOptions::default(),
+            2,
+            &SweepControl::default(),
+        )
+        .unwrap();
+        assert!(
+            !rep.quarantined.is_empty(),
+            "EveryBlock specs must elicit and quarantine the panicking reduce"
+        );
+        assert!(!rep.partial, "quarantine must not abort the sweep");
+        for q in &rep.quarantined {
+            assert!(q.payload.contains("grenade"), "{}", q.payload);
+            if let StealSpec::EveryBlock(min) = &q.minimized {
+                // ddmin keeps just enough steals to make a two-operand
+                // reduce happen.
+                assert!(
+                    min.steal_count() <= 2,
+                    "minimizer left a bloated script: {min:?}"
+                );
+            }
+        }
+        // Deterministic: same quarantine set on every run.
+        let again = exhaustive_check_parallel_ctl(
+            program,
+            &CoverageOptions::default(),
+            4,
+            &SweepControl::default(),
+        )
+        .unwrap();
+        assert_eq!(again.quarantined, rep.quarantined);
+    }
+
+    #[test]
+    fn checkpointed_sweep_resumes_byte_identical() {
+        let opts = CoverageOptions::default();
+        let full = exhaustive_check_parallel(racy8, &opts, 2);
+        let path = temp_journal("resume");
+        // Interrupt mid-sweep via a tiny budget (whatever subset of
+        // chunks lands in the journal, resume must reconstruct the
+        // exact uninterrupted result).
+        let cut = exhaustive_check_parallel_ctl(
+            racy8,
+            &opts,
+            2,
+            &SweepControl {
+                checkpoint: CheckpointPolicy::Record(path.clone()),
+                budget: Some(Duration::from_micros(300)),
+                ..SweepControl::default()
+            },
+        )
+        .unwrap();
+        assert!(cut.runs <= full.runs);
+        let resume_ctl = SweepControl {
+            checkpoint: CheckpointPolicy::Resume(path.clone()),
+            ..SweepControl::default()
+        };
+        for round in 0..2 {
+            // Round 0 finishes the sweep; round 1 resumes a *complete*
+            // journal and must serve everything from it.
+            let resumed = exhaustive_check_parallel_ctl(racy8, &opts, 2, &resume_ctl).unwrap();
+            assert_eq!(resumed.report, full.report, "round {round}");
+            assert_eq!(resumed.findings, full.findings);
+            assert_eq!(resumed.runs, full.runs);
+            assert_eq!(resumed.replayed, full.replayed);
+            assert_eq!((resumed.k, resumed.m), (full.k, full.m));
+            assert_eq!(resumed.claims, full.claims);
+            assert_eq!(resumed.spplus_checks, full.spplus_checks);
+            assert!(!resumed.partial);
+            assert!(resumed.uncovered.is_empty());
+            assert!(resumed.quarantined.is_empty());
+            assert_eq!(
+                format!("{}", resumed.report),
+                format!("{}", full.report),
+                "rendered report must be byte-identical after resume"
+            );
+        }
+        // A journal never resumes a differently-labelled sweep.
+        let err = exhaustive_check_parallel_ctl(
+            racy8,
+            &opts,
+            2,
+            &SweepControl {
+                checkpoint: CheckpointPolicy::Resume(path.clone()),
+                label: "other-workload".to_string(),
+                ..SweepControl::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("fingerprint"), "{err}");
+        // Resuming from a missing journal starts fresh and creates it.
+        std::fs::remove_file(&path).unwrap();
+        let fresh = exhaustive_check_parallel_ctl(racy8, &opts, 2, &resume_ctl).unwrap();
+        assert_eq!(fresh.report, full.report);
+        assert!(path.exists());
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

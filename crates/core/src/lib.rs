@@ -42,6 +42,8 @@
 //! ```
 
 pub mod coverage;
+pub mod fault;
+pub mod journal;
 pub mod peerset;
 pub mod report;
 pub mod shadow;
@@ -50,9 +52,12 @@ pub mod sporder;
 pub mod spplus;
 
 pub use coverage::{
-    exhaustive_check, exhaustive_check_parallel, minimize_spec, ChunkPolicy, CoverageOptions,
-    ExhaustiveReport, SweepScheduler, SweepTiming,
+    exhaustive_check, exhaustive_check_parallel, exhaustive_check_parallel_ctl, minimize_spec,
+    ChunkPolicy, CoverageOptions, ExhaustiveReport, Quarantined, SweepControl, SweepScheduler,
+    SweepTiming,
 };
+pub use fault::{Fault, FaultPlan};
+pub use journal::{CheckpointPolicy, SCHEMA_VERSION};
 pub use peerset::PeerSet;
 pub use report::{AccessInfo, DeterminacyRace, RaceReport, ViewReadRace};
 pub use spbags::SpBags;

@@ -157,6 +157,157 @@ impl ReportMerger {
     }
 }
 
+/// Intern a runtime string as `&'static str`.
+///
+/// Frame labels are `&'static str` in [`RaceReport`] because programs
+/// attach them from string literals; a report decoded from a checkpoint
+/// journal has to re-materialize them. The pool dedupes, so decoding the
+/// same journal (or many journals naming the same frames) repeatedly
+/// leaks each distinct label at most once for the process lifetime —
+/// labels are short identifiers, so this is bounded by the program's
+/// vocabulary, not by how many records are read.
+fn intern_label(s: &str) -> &'static str {
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+    static POOL: Mutex<BTreeMap<String, &'static str>> = Mutex::new(BTreeMap::new());
+    let mut pool = POOL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(&interned) = pool.get(s) {
+        return interned;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    pool.insert(s.to_string(), leaked);
+    leaked
+}
+
+fn kind_to_u8(k: AccessKind) -> u8 {
+    match k {
+        AccessKind::Oblivious => 0,
+        AccessKind::Update => 1,
+        AccessKind::CreateIdentity => 2,
+        AccessKind::Reduce => 3,
+    }
+}
+
+fn kind_from_u8(b: u8) -> Result<AccessKind, String> {
+    Ok(match b {
+        0 => AccessKind::Oblivious,
+        1 => AccessKind::Update,
+        2 => AccessKind::CreateIdentity,
+        3 => AccessKind::Reduce,
+        other => return Err(format!("invalid AccessKind byte {other}")),
+    })
+}
+
+fn put_access(out: &mut Vec<u8>, a: &AccessInfo) {
+    out.extend_from_slice(&a.frame.0.to_le_bytes());
+    out.extend_from_slice(&a.strand.0.to_le_bytes());
+    out.push(a.write as u8);
+    out.push(kind_to_u8(a.kind));
+}
+
+fn take<const N: usize>(b: &[u8], i: &mut usize) -> Result<[u8; N], String> {
+    let end = i
+        .checked_add(N)
+        .filter(|&e| e <= b.len())
+        .ok_or_else(|| format!("truncated report payload at byte {i}"))?;
+    let arr: [u8; N] = b[*i..end].try_into().unwrap();
+    *i = end;
+    Ok(arr)
+}
+
+fn take_u32(b: &[u8], i: &mut usize) -> Result<u32, String> {
+    Ok(u32::from_le_bytes(take::<4>(b, i)?))
+}
+
+fn take_u64(b: &[u8], i: &mut usize) -> Result<u64, String> {
+    Ok(u64::from_le_bytes(take::<8>(b, i)?))
+}
+
+fn take_access(b: &[u8], i: &mut usize) -> Result<AccessInfo, String> {
+    let frame = FrameId(take_u32(b, i)?);
+    let strand = StrandId(take_u64(b, i)?);
+    let write = take::<1>(b, i)?[0] != 0;
+    let kind = kind_from_u8(take::<1>(b, i)?[0])?;
+    Ok(AccessInfo {
+        frame,
+        strand,
+        write,
+        kind,
+    })
+}
+
+impl RaceReport {
+    /// Append a self-delimiting binary encoding of this report to `out`
+    /// (little-endian, fixed-width counts; the checkpoint journal's
+    /// record format — see `rader_core::journal`).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.determinacy.len() as u32).to_le_bytes());
+        for r in &self.determinacy {
+            out.extend_from_slice(&r.loc.0.to_le_bytes());
+            put_access(out, &r.prior);
+            put_access(out, &r.current);
+        }
+        out.extend_from_slice(&(self.view_read.len() as u32).to_le_bytes());
+        for r in &self.view_read {
+            out.extend_from_slice(&r.reducer.0.to_le_bytes());
+            out.extend_from_slice(&r.prior_frame.0.to_le_bytes());
+            out.extend_from_slice(&r.prior_strand.0.to_le_bytes());
+            out.extend_from_slice(&r.frame.0.to_le_bytes());
+            out.extend_from_slice(&r.strand.0.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.frame_labels.len() as u32).to_le_bytes());
+        for (frame, label) in &self.frame_labels {
+            out.extend_from_slice(&frame.0.to_le_bytes());
+            out.extend_from_slice(&(label.len() as u32).to_le_bytes());
+            out.extend_from_slice(label.as_bytes());
+        }
+    }
+
+    /// Decode a report previously written by [`RaceReport::encode`],
+    /// advancing `i` past it. Errors name what was malformed; they never
+    /// yield a partially decoded report.
+    pub fn decode(b: &[u8], i: &mut usize) -> Result<RaceReport, String> {
+        let mut report = RaceReport::default();
+        let n_det = take_u32(b, i)?;
+        for _ in 0..n_det {
+            let loc = Loc(take_u32(b, i)?);
+            let prior = take_access(b, i)?;
+            let current = take_access(b, i)?;
+            report.determinacy.push(DeterminacyRace {
+                loc,
+                prior,
+                current,
+            });
+        }
+        let n_vr = take_u32(b, i)?;
+        for _ in 0..n_vr {
+            report.view_read.push(ViewReadRace {
+                reducer: ReducerId(take_u32(b, i)?),
+                prior_frame: FrameId(take_u32(b, i)?),
+                prior_strand: StrandId(take_u64(b, i)?),
+                frame: FrameId(take_u32(b, i)?),
+                strand: StrandId(take_u64(b, i)?),
+            });
+        }
+        let n_labels = take_u32(b, i)?;
+        for _ in 0..n_labels {
+            let frame = FrameId(take_u32(b, i)?);
+            let len = take_u32(b, i)? as usize;
+            let end = i
+                .checked_add(len)
+                .filter(|&e| e <= b.len())
+                .ok_or_else(|| format!("truncated frame label at byte {i}"))?;
+            let label = std::str::from_utf8(&b[*i..end])
+                .map_err(|_| format!("non-UTF-8 frame label at byte {i}"))?;
+            *i = end;
+            report.frame_labels.insert(frame, intern_label(label));
+        }
+        Ok(report)
+    }
+}
+
 impl std::fmt::Display for RaceReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if !self.has_races() {
@@ -263,6 +414,74 @@ mod tests {
             again.merge(&r);
         }
         assert_eq!(pairwise, again.finish());
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let mut r = RaceReport::default();
+        r.determinacy.push(det(7));
+        r.determinacy.push(DeterminacyRace {
+            loc: Loc(9),
+            prior: AccessInfo {
+                frame: FrameId(3),
+                strand: StrandId(1 << 40),
+                write: false,
+                kind: AccessKind::Reduce,
+            },
+            current: AccessInfo {
+                frame: FrameId(4),
+                strand: StrandId(12),
+                write: true,
+                kind: AccessKind::Update,
+            },
+        });
+        r.view_read.push(ViewReadRace {
+            reducer: ReducerId(2),
+            prior_frame: FrameId(1),
+            prior_strand: StrandId(5),
+            frame: FrameId(6),
+            strand: StrandId(u64::MAX),
+        });
+        r.frame_labels.insert(FrameId(3), "update_list");
+        r.frame_labels.insert(FrameId(4), "race");
+        let mut bytes = Vec::new();
+        r.encode(&mut bytes);
+        let mut i = 0;
+        let back = RaceReport::decode(&bytes, &mut i).expect("decode");
+        assert_eq!(i, bytes.len(), "decode must consume the whole encoding");
+        assert_eq!(back, r);
+        // Rendered output (what byte-identity pins) survives the trip.
+        assert_eq!(format!("{back}"), format!("{r}"));
+        // An empty report round-trips too.
+        let empty = RaceReport::default();
+        let mut bytes = Vec::new();
+        empty.encode(&mut bytes);
+        let mut i = 0;
+        assert_eq!(RaceReport::decode(&bytes, &mut i).unwrap(), empty);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_junk() {
+        let mut r = RaceReport::default();
+        r.determinacy.push(det(1));
+        r.frame_labels.insert(FrameId(0), "f");
+        let mut bytes = Vec::new();
+        r.encode(&mut bytes);
+        // Any strict prefix must fail loudly, never partially decode.
+        for cut in 0..bytes.len() {
+            let mut i = 0;
+            assert!(
+                RaceReport::decode(&bytes[..cut], &mut i).is_err(),
+                "prefix of {cut} bytes decoded silently"
+            );
+        }
+        // An invalid AccessKind byte is named.
+        let mut bad = bytes.clone();
+        // Kind byte of the first access: 4 (count) + 4 (loc) + 4 + 8 + 1.
+        bad[4 + 4 + 4 + 8 + 1] = 99;
+        let mut i = 0;
+        let err = RaceReport::decode(&bad, &mut i).unwrap_err();
+        assert!(err.contains("AccessKind"), "{err}");
     }
 
     #[test]

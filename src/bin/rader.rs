@@ -3,8 +3,12 @@
 //! Run `rader help` for usage. Exit codes: 0 clean, 1 races found
 //! (`suite`), 2 usage error.
 
+use std::time::Duration;
+
 use rader::cli::{self, Command, ExhaustiveOpts, SuiteOpts, SynthOpts};
-use rader::core::{coverage, CoverageOptions, Rader};
+use rader::core::{
+    coverage, CheckpointPolicy, CoverageOptions, FaultPlan, Rader, SweepControl, SCHEMA_VERSION,
+};
 use rader::suite::{self, SuiteOptions};
 use rader::workloads::{self, fig1, Scale};
 use rader_cilk::synth::{gen_program, run_synth, GenConfig};
@@ -54,6 +58,43 @@ fn fmt_ms(ns: u64) -> String {
     format!("{:.1}ms", ns as f64 / 1e6)
 }
 
+/// Assemble the deterministic fault plan from the CLI flags, if any.
+/// A bare `--fault-seed` with no `--fault-panic-at` yields a plan that
+/// injects nothing — harmless, and it keeps the flags orthogonal.
+fn build_faults(seed: Option<u64>, panic_at: &[usize]) -> Option<FaultPlan> {
+    if seed.is_none() && panic_at.is_empty() {
+        return None;
+    }
+    let mut plan = FaultPlan::new(seed.unwrap_or(0));
+    for &i in panic_at {
+        plan = plan.panic_at(i);
+    }
+    Some(plan)
+}
+
+/// Print the partial-coverage and quarantine sections for one verdict's
+/// worth of sweep degradations (shared by `suite` and `exhaustive`).
+fn print_degradations(
+    name: &str,
+    partial: bool,
+    uncovered: &[String],
+    quarantined: &[rader::core::Quarantined],
+) {
+    if partial {
+        println!("\n## {name}: partial coverage (budget deadline hit)");
+        for u in uncovered {
+            println!("  uncovered: {u}");
+        }
+    }
+    if !quarantined.is_empty() {
+        println!("\n## {name}: quarantined specs (worker panics isolated)");
+        for q in quarantined {
+            println!("  spec {} {:?}: {}", q.spec_index, q.spec, q.payload);
+            println!("    minimized: {:?}", q.minimized);
+        }
+    }
+}
+
 fn cmd_suite(o: &SuiteOpts) {
     let scale = if o.paper { Scale::Paper } else { Scale::Small };
     let mut table = workloads::suite(scale);
@@ -75,8 +116,18 @@ fn cmd_suite(o: &SuiteOpts) {
             Some(n) => rader::core::ChunkPolicy::Fixed(n),
             None => rader::core::ChunkPolicy::Family,
         },
+        checkpoint: o.checkpoint.clone(),
+        resume: o.resume.clone(),
+        budget: o.budget.map(Duration::from_secs_f64),
+        faults: build_faults(o.fault_seed, &o.fault_panic_at),
     };
-    let report = suite::run_suite(&table, &opts);
+    let report = match suite::run_suite(&table, &opts) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("rader: {e}");
+            std::process::exit(2);
+        }
+    };
     println!(
         "{:<10} {:>8} {:>10} {:>6} {:>8} {:>6} {:>4} {:>4} {:>10} {:>11} {:>9} {:>9} {:>8}  verdict",
         "benchmark",
@@ -94,6 +145,17 @@ fn cmd_suite(o: &SuiteOpts) {
         "merge"
     );
     for w in &report.workloads {
+        let mut verdict = if w.clean() {
+            "clean".to_string()
+        } else {
+            format!("RACES ({})", w.races)
+        };
+        if w.partial {
+            verdict.push_str(" [partial]");
+        }
+        if !w.quarantined.is_empty() {
+            verdict.push_str(&format!(" [quarantined {}]", w.quarantined.len()));
+        }
         println!(
             "{:<10} {:>8} {:>10} {:>6} {:>8} {:>6} {:>4} {:>4} {:>10} {:>11} {:>9} {:>9} {:>8}  {}",
             w.name,
@@ -109,11 +171,7 @@ fn cmd_suite(o: &SuiteOpts) {
             fmt_ms(w.record_ns),
             fmt_ms(w.sweep_ns),
             fmt_ms(w.merge_ns),
-            if w.clean() {
-                "clean".to_string()
-            } else {
-                format!("RACES ({})", w.races)
-            }
+            verdict
         );
     }
     // Scaling smoke: exercise the work-stealing pool and report steal
@@ -130,6 +188,9 @@ fn cmd_suite(o: &SuiteOpts) {
             println!("minimized reproducer: {min}");
         }
         print!("{}", w.report);
+    }
+    for w in &report.workloads {
+        print_degradations(&w.name, w.partial, &w.uncovered, &w.quarantined);
     }
     if let Some(path) = &o.json {
         if let Err(e) = std::fs::write(path, report.to_json()) {
@@ -191,13 +252,30 @@ fn cmd_exhaustive(o: &ExhaustiveOpts) {
             .map(|n| n.get())
             .unwrap_or(1)
     });
-    let sweep = coverage::exhaustive_check_parallel(
+    let ctl = SweepControl {
+        checkpoint: match (&o.resume, &o.checkpoint) {
+            (Some(path), _) => CheckpointPolicy::Resume(path.into()),
+            (None, Some(path)) => CheckpointPolicy::Record(path.into()),
+            (None, None) => CheckpointPolicy::Off,
+        },
+        budget: o.budget.map(Duration::from_secs_f64),
+        faults: build_faults(o.fault_seed, &o.fault_panic_at),
+        label: "fig1-exhaustive".to_string(),
+    };
+    let sweep = match coverage::exhaustive_check_parallel_ctl(
         |cx| {
             fig1::race_program(cx, 12);
         },
         &opts,
         threads,
-    );
+        &ctl,
+    ) {
+        Ok(sweep) => sweep,
+        Err(e) => {
+            eprintln!("rader: {e}");
+            std::process::exit(2);
+        }
+    };
     println!(
         "{} SP+ runs ({} replayed from trace; K = {}, M = {}; \
          record {}, sweep {} on {} thread(s), merge {}); \
@@ -225,6 +303,7 @@ fn cmd_exhaustive(o: &ExhaustiveOpts) {
         }
         print!("{report}");
     }
+    print_degradations("fig1", sweep.partial, &sweep.uncovered, &sweep.quarantined);
 }
 
 fn cmd_json_check(path: &str) {
@@ -239,7 +318,20 @@ fn cmd_json_check(path: &str) {
         eprintln!("rader: {path}: invalid JSON: {e}");
         std::process::exit(1);
     }
-    println!("{path}: valid JSON");
+    // Versioned reports (suite/sweep output, checkpoint-adjacent JSON)
+    // must match this binary's schema; unversioned documents pass as
+    // plain JSON.
+    match suite::embedded_schema_version(&text) {
+        Some(v) if v != u64::from(SCHEMA_VERSION) => {
+            eprintln!(
+                "rader: {path}: schema_version {v} does not match this \
+                 binary's {SCHEMA_VERSION}"
+            );
+            std::process::exit(1);
+        }
+        Some(v) => println!("{path}: valid JSON (schema_version {v})"),
+        None => println!("{path}: valid JSON"),
+    }
 }
 
 fn cmd_dot(steals: bool) {

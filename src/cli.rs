@@ -17,20 +17,35 @@ pub const USAGE: &str = "usage: rader <command> [options]
   suite [--paper] [--racy] [--json PATH] [--threads N]
         [--max-k N] [--max-spawn-count N] [--reexecute]
         [--strided] [--chunk N]
+        [--checkpoint PATH | --resume PATH] [--budget SECS]
+        [--fault-seed N] [--fault-panic-at N]
                                run the benchmark table under the full
                                Section-7 sweep; exit 1 if races found.
                                --strided uses round-robin scheduling,
                                --chunk fixes the claim chunk size
-                               (default: family-sized chunks)
+                               (default: family-sized chunks).
+                               --checkpoint journals completed chunks to
+                               PATH.<workload>.ckpt; --resume validates
+                               and continues such journals; --budget
+                               stops each sweep at the deadline with a
+                               partial (explicitly under-approximate)
+                               verdict; --fault-seed/--fault-panic-at
+                               inject deterministic worker faults
   synth --seed N [--aliasing] [--dot]
                                generate & exhaustively check a random program
   exhaustive [--reexecute] [--threads N] [--max-k N] [--max-spawn-count N]
+             [--checkpoint PATH | --resume PATH] [--budget SECS]
+             [--fault-seed N] [--fault-panic-at N]
                                Section-7 sweep on Figure 1 with reproducer specs
   dot [--steals]               print the Figure-2 example dag as Graphviz
-  json-check PATH              validate that PATH parses as JSON (CI helper)";
+  json-check PATH              validate that PATH parses as JSON and, for
+                               versioned reports, that schema_version
+                               matches this binary (CI helper)";
 
 /// A fully parsed invocation of the `rader` binary.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// (`PartialEq` only: the `--budget` operand is an `f64`.)
+#[derive(Clone, Debug, PartialEq)]
 pub enum Command {
     /// `rader fig1`
     Fig1,
@@ -55,7 +70,7 @@ pub enum Command {
 }
 
 /// Options for `rader suite`.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SuiteOpts {
     /// Paper-scale inputs instead of test-scale.
     pub paper: bool,
@@ -76,6 +91,17 @@ pub struct SuiteOpts {
     pub strided: bool,
     /// Fixed claim chunk size (overrides the family-sized default).
     pub chunk: Option<usize>,
+    /// Journal completed sweep chunks to `PATH.<workload>.ckpt`.
+    pub checkpoint: Option<String>,
+    /// Resume from (and keep appending to) `PATH.<workload>.ckpt`
+    /// journals; mutually exclusive with `--checkpoint`.
+    pub resume: Option<String>,
+    /// Per-workload sweep wall-clock budget in seconds.
+    pub budget: Option<f64>,
+    /// Seed for the deterministic fault-injection plan.
+    pub fault_seed: Option<u64>,
+    /// Spec indices whose sweep runs are forced to panic (repeatable).
+    pub fault_panic_at: Vec<usize>,
 }
 
 /// Options for `rader synth`.
@@ -90,7 +116,7 @@ pub struct SynthOpts {
 }
 
 /// Options for `rader exhaustive`.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ExhaustiveOpts {
     /// Disable the record/replay fast path.
     pub reexecute: bool,
@@ -100,6 +126,17 @@ pub struct ExhaustiveOpts {
     pub max_k: Option<u32>,
     /// Cap on the update-family spawn count `M`.
     pub max_spawn_count: Option<u32>,
+    /// Journal completed sweep chunks to this file.
+    pub checkpoint: Option<String>,
+    /// Resume from (and keep appending to) this journal file; mutually
+    /// exclusive with `--checkpoint`.
+    pub resume: Option<String>,
+    /// Sweep wall-clock budget in seconds.
+    pub budget: Option<f64>,
+    /// Seed for the deterministic fault-injection plan.
+    pub fault_seed: Option<u64>,
+    /// Spec indices whose sweep runs are forced to panic (repeatable).
+    pub fault_panic_at: Vec<usize>,
 }
 
 /// Parse a `--flag value` numeric operand at `args[*i + 1]`, advancing
@@ -134,6 +171,36 @@ fn take_path(args: &[String], i: &mut usize, flag: &str) -> Result<String, Strin
         .ok_or_else(|| format!("{flag} requires a file path"))
 }
 
+/// Parse `--budget SECS`: a finite, non-negative float. (Zero is legal —
+/// it stops the sweep right after the record pass, which is how tests
+/// pin the fully-partial report.) `f64::from_str` accepts "NaN" and
+/// "inf", so those are rejected here, not by the number parser.
+fn take_budget(args: &[String], i: &mut usize) -> Result<f64, String> {
+    let secs: f64 = take_number(args, i, "--budget")?;
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(format!(
+            "--budget must be a finite number of seconds >= 0, got {secs}"
+        ));
+    }
+    Ok(secs)
+}
+
+/// `--checkpoint` and `--resume` are mutually exclusive (a resumed sweep
+/// already appends new checkpoints to the same journal).
+fn reject_checkpoint_resume(
+    checkpoint: &Option<String>,
+    resume: &Option<String>,
+) -> Result<(), String> {
+    if checkpoint.is_some() && resume.is_some() {
+        return Err(
+            "--checkpoint and --resume are mutually exclusive (resume already \
+             appends new checkpoints to the journal it continues)"
+                .to_string(),
+        );
+    }
+    Ok(())
+}
+
 fn parse_suite(args: &[String]) -> Result<SuiteOpts, String> {
     let mut o = SuiteOpts::default();
     let mut i = 1;
@@ -150,10 +217,19 @@ fn parse_suite(args: &[String]) -> Result<SuiteOpts, String> {
             }
             "--strided" => o.strided = true,
             "--chunk" => o.chunk = Some(take_positive(args, &mut i, "--chunk")?),
+            "--checkpoint" => o.checkpoint = Some(take_path(args, &mut i, "--checkpoint")?),
+            "--resume" => o.resume = Some(take_path(args, &mut i, "--resume")?),
+            "--budget" => o.budget = Some(take_budget(args, &mut i)?),
+            "--fault-seed" => o.fault_seed = Some(take_number(args, &mut i, "--fault-seed")?),
+            "--fault-panic-at" => {
+                o.fault_panic_at
+                    .push(take_number(args, &mut i, "--fault-panic-at")?)
+            }
             other => return Err(format!("unknown argument {other:?} for `rader suite`")),
         }
         i += 1;
     }
+    reject_checkpoint_resume(&o.checkpoint, &o.resume)?;
     Ok(o)
 }
 
@@ -183,10 +259,19 @@ fn parse_exhaustive(args: &[String]) -> Result<ExhaustiveOpts, String> {
             "--max-spawn-count" => {
                 o.max_spawn_count = Some(take_positive(args, &mut i, "--max-spawn-count")? as u32)
             }
+            "--checkpoint" => o.checkpoint = Some(take_path(args, &mut i, "--checkpoint")?),
+            "--resume" => o.resume = Some(take_path(args, &mut i, "--resume")?),
+            "--budget" => o.budget = Some(take_budget(args, &mut i)?),
+            "--fault-seed" => o.fault_seed = Some(take_number(args, &mut i, "--fault-seed")?),
+            "--fault-panic-at" => {
+                o.fault_panic_at
+                    .push(take_number(args, &mut i, "--fault-panic-at")?)
+            }
             other => return Err(format!("unknown argument {other:?} for `rader exhaustive`")),
         }
         i += 1;
     }
+    reject_checkpoint_resume(&o.checkpoint, &o.resume)?;
     Ok(o)
 }
 
@@ -268,6 +353,57 @@ mod tests {
         };
         assert!(o.strided);
         assert_eq!(o.chunk, Some(8));
+    }
+
+    #[test]
+    fn checkpoint_budget_and_fault_flags_parse() {
+        let Ok(Command::Suite(o)) = parse_strs(&[
+            "suite",
+            "--checkpoint",
+            "target/ckpt",
+            "--budget",
+            "2.5",
+            "--fault-seed",
+            "7",
+            "--fault-panic-at",
+            "2",
+            "--fault-panic-at",
+            "5",
+        ]) else {
+            panic!("suite fault-tolerance flags did not parse");
+        };
+        assert_eq!(o.checkpoint.as_deref(), Some("target/ckpt"));
+        assert_eq!(o.resume, None);
+        assert_eq!(o.budget, Some(2.5));
+        assert_eq!(o.fault_seed, Some(7));
+        assert_eq!(o.fault_panic_at, vec![2, 5]);
+        let Ok(Command::Exhaustive(o)) =
+            parse_strs(&["exhaustive", "--resume", "sweep.ckpt", "--budget", "0"])
+        else {
+            panic!("exhaustive fault-tolerance flags did not parse");
+        };
+        assert_eq!(o.resume.as_deref(), Some("sweep.ckpt"));
+        assert_eq!(o.budget, Some(0.0));
+    }
+
+    #[test]
+    fn checkpoint_and_resume_are_mutually_exclusive() {
+        for cmd in ["suite", "exhaustive"] {
+            let err = parse_strs(&[cmd, "--checkpoint", "a", "--resume", "b"]).unwrap_err();
+            assert!(err.contains("mutually exclusive"), "{cmd}: {err}");
+        }
+    }
+
+    #[test]
+    fn malformed_budgets_are_errors() {
+        for bad in ["-1", "NaN", "inf", "abc"] {
+            let err = parse_strs(&["suite", "--budget", bad]).unwrap_err();
+            assert!(err.contains("--budget"), "{bad}: {err}");
+        }
+        let err = parse_strs(&["suite", "--budget"]).unwrap_err();
+        assert!(err.contains("--budget requires a value"), "{err}");
+        let err = parse_strs(&["suite", "--fault-panic-at", "x"]).unwrap_err();
+        assert!(err.contains("--fault-panic-at"), "{err}");
     }
 
     #[test]

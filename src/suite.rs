@@ -30,17 +30,19 @@
 //! deterministically reproducible.
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 use rader_cilk::par::{ParRuntime, PoolStats};
 use rader_cilk::SerialEngine;
 use rader_core::{
-    coverage, ChunkPolicy, CoverageOptions, ExhaustiveReport, PeerSet, RaceReport, SweepScheduler,
+    coverage, CheckpointPolicy, ChunkPolicy, CoverageOptions, FaultPlan, PeerSet, Quarantined,
+    RaceReport, SweepControl, SweepScheduler, SCHEMA_VERSION,
 };
 use rader_workloads::Workload;
 
 /// Options for [`run_suite`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SuiteOptions {
     /// Worker threads for the per-workload sweep.
     pub threads: usize,
@@ -54,6 +56,21 @@ pub struct SuiteOptions {
     pub scheduler: SweepScheduler,
     /// How the sweep batches spec indices into claims.
     pub chunking: ChunkPolicy,
+    /// Record sweep checkpoints: each workload journals completed chunks
+    /// to `{prefix}.{name}.ckpt` under this path prefix.
+    pub checkpoint: Option<String>,
+    /// Resume from `{prefix}.{name}.ckpt` journals (validated against
+    /// each workload's spec-plan fingerprint), re-sweeping only the
+    /// missing chunks and appending new checkpoints as they complete.
+    /// Workloads whose journal is absent start fresh.
+    pub resume: Option<String>,
+    /// Wall-clock budget for each workload's sweep. Claims are reordered
+    /// by marginal coverage and the verdict turns `partial` when the
+    /// deadline cuts the sweep short.
+    pub budget: Option<Duration>,
+    /// Deterministic fault injection for the sweep (testing the
+    /// quarantine machinery; see [`FaultPlan`]).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for SuiteOptions {
@@ -67,6 +84,10 @@ impl Default for SuiteOptions {
             replay: true,
             scheduler: SweepScheduler::WorkQueue,
             chunking: ChunkPolicy::Family,
+            checkpoint: None,
+            resume: None,
+            budget: None,
+            faults: None,
         }
     }
 }
@@ -102,6 +123,14 @@ pub struct WorkloadVerdict {
     pub peer_set_checks: u64,
     /// SP+ access checks performed across the whole sweep.
     pub spplus_checks: u64,
+    /// True when a budget deadline left spec families unswept — the
+    /// verdict is an explicit under-approximation, not a full one.
+    pub partial: bool,
+    /// Per-family coverage gaps when `partial` (empty otherwise).
+    pub uncovered: Vec<String>,
+    /// Specs whose SP+ run panicked and was isolated instead of taking
+    /// the sweep down (payload + minimized reproducer).
+    pub quarantined: Vec<Quarantined>,
     /// Wall-clock for the workload end to end, nanoseconds.
     pub wall_ns: u64,
     /// Sweep record-pass wall-clock, nanoseconds.
@@ -134,11 +163,13 @@ impl SuiteReport {
         self.workloads.iter().any(|w| !w.clean())
     }
 
-    /// Serialize as a JSON array of per-workload records (stable key
+    /// Serialize as a JSON object: a `schema_version` (shared with the
+    /// checkpoint-journal format, so format changes are detectable by
+    /// `rader json-check`) plus the per-workload records (stable key
     /// order, no external dependencies — same hand-rolled style as the
     /// bench harness serializer).
     pub fn to_json(&self) -> String {
-        let mut out = String::from("[\n");
+        let mut out = format!("{{\"schema_version\": {SCHEMA_VERSION}, \"workloads\": [\n");
         for (i, w) in self.workloads.iter().enumerate() {
             if i > 0 {
                 out.push_str(",\n");
@@ -147,12 +178,19 @@ impl SuiteReport {
                 Some(s) => format!("\"{}\"", json_escape(s)),
                 None => "null".to_string(),
             };
+            let uncovered = w
+                .uncovered
+                .iter()
+                .map(|u| format!("\"{}\"", json_escape(u)))
+                .collect::<Vec<_>>()
+                .join(", ");
             let _ = write!(
                 out,
                 "  {{\"name\": \"{}\", \"clean\": {}, \"races\": {}, \"runs\": {}, \
                  \"replayed\": {}, \"claims\": {}, \"k\": {}, \"m\": {}, \"frames\": {}, \
                  \"accesses\": {}, \"peer_set_checks\": {}, \"spplus_checks\": {}, \
-                 \"minimized\": {}, \"wall_ns\": {}, \
+                 \"minimized\": {}, \"partial\": {}, \"uncovered\": [{}], \
+                 \"quarantined\": {}, \"wall_ns\": {}, \
                  \"record_ns\": {}, \"sweep_ns\": {}, \"merge_ns\": {}}}",
                 json_escape(&w.name),
                 w.clean(),
@@ -167,20 +205,37 @@ impl SuiteReport {
                 w.peer_set_checks,
                 w.spplus_checks,
                 minimized,
+                w.partial,
+                uncovered,
+                w.quarantined.len(),
                 w.wall_ns,
                 w.record_ns,
                 w.sweep_ns,
                 w.merge_ns,
             );
         }
-        out.push_str("\n]\n");
+        out.push_str("\n]}\n");
         out
     }
 }
 
+/// The per-workload journal path under a `--checkpoint`/`--resume` path
+/// prefix: `{prefix}.{name}.ckpt`. Each workload gets its own journal
+/// (its own spec plan, hence its own fingerprint); the workload name is
+/// also the fingerprint label, so a journal can never be replayed into
+/// the wrong workload even if the files are renamed.
+fn journal_path(prefix: &str, name: &str) -> PathBuf {
+    PathBuf::from(format!("{prefix}.{name}.ckpt"))
+}
+
 /// Check one workload: Peer-Set run (statistics + view-read verdict),
 /// then the parallel Section-7 sweep, then merge.
-pub fn check_workload(w: &Workload, opts: &SuiteOptions) -> WorkloadVerdict {
+///
+/// Fails only on checkpoint-journal problems (unwritable journal, or a
+/// `--resume` journal that is corrupt or from a different spec plan) —
+/// those must abort loudly rather than silently re-sweep or, worse,
+/// merge mismatched results.
+pub fn check_workload(w: &Workload, opts: &SuiteOptions) -> Result<WorkloadVerdict, String> {
     let wall = Instant::now();
     let mut peers = PeerSet::new();
     let stats = SerialEngine::new().run_tool(&mut peers, |cx| (w.run)(cx));
@@ -192,8 +247,19 @@ pub fn check_workload(w: &Workload, opts: &SuiteOptions) -> WorkloadVerdict {
         chunking: opts.chunking,
         ..CoverageOptions::default()
     };
-    let sweep: ExhaustiveReport =
-        coverage::exhaustive_check_parallel(|cx| (w.run)(cx), &cov, opts.threads);
+    let checkpoint = match (&opts.resume, &opts.checkpoint) {
+        (Some(prefix), _) => CheckpointPolicy::Resume(journal_path(prefix, w.name)),
+        (None, Some(prefix)) => CheckpointPolicy::Record(journal_path(prefix, w.name)),
+        (None, None) => CheckpointPolicy::Off,
+    };
+    let ctl = SweepControl {
+        checkpoint,
+        budget: opts.budget,
+        faults: opts.faults.clone(),
+        label: w.name.to_string(),
+    };
+    let sweep =
+        coverage::exhaustive_check_parallel_ctl(|cx| (w.run)(cx), &cov, opts.threads, &ctl)?;
     let mut report = peers.report().clone();
     report.merge(&sweep.report);
     let races = report.determinacy.len() + report.view_read.len();
@@ -204,7 +270,7 @@ pub fn check_workload(w: &Workload, opts: &SuiteOptions) -> WorkloadVerdict {
         .findings
         .first()
         .map(|(spec, _)| format!("{:?}", coverage::minimize_spec(|cx| (w.run)(cx), spec)));
-    WorkloadVerdict {
+    Ok(WorkloadVerdict {
         name: w.name.to_string(),
         frames: stats.frames,
         accesses: stats.reads + stats.writes,
@@ -217,19 +283,25 @@ pub fn check_workload(w: &Workload, opts: &SuiteOptions) -> WorkloadVerdict {
         minimized,
         peer_set_checks: peers.checks,
         spplus_checks: sweep.spplus_checks,
+        partial: sweep.partial,
+        uncovered: sweep.uncovered,
+        quarantined: sweep.quarantined,
         wall_ns: wall.elapsed().as_nanos() as u64,
         record_ns: sweep.timing.record_ns,
         sweep_ns: sweep.timing.sweep_ns,
         merge_ns: sweep.timing.merge_ns,
         report,
-    }
+    })
 }
 
-/// Run the pipeline over every workload.
-pub fn run_suite(workloads: &[Workload], opts: &SuiteOptions) -> SuiteReport {
-    SuiteReport {
-        workloads: workloads.iter().map(|w| check_workload(w, opts)).collect(),
+/// Run the pipeline over every workload. Stops at the first
+/// checkpoint-journal error (see [`check_workload`]).
+pub fn run_suite(workloads: &[Workload], opts: &SuiteOptions) -> Result<SuiteReport, String> {
+    let mut out = Vec::with_capacity(workloads.len());
+    for w in workloads {
+        out.push(check_workload(w, opts)?);
     }
+    Ok(SuiteReport { workloads: out })
 }
 
 /// Exercise the work-stealing pool with a spawn-heavy calibration
@@ -298,6 +370,48 @@ pub fn validate_json(s: &str) -> Result<(), String> {
         return Err(format!("trailing content at byte {i}"));
     }
     Ok(())
+}
+
+/// Extract the top-level `"schema_version"` member of a JSON object
+/// document, if any. Scans only the top-level keys (a nested
+/// `schema_version` inside some other value is not a format marker).
+/// Returns `None` for non-objects, objects without the key, or
+/// non-integer values — `rader json-check` then treats the document as
+/// unversioned. Call only on input [`validate_json`] accepted.
+pub fn embedded_schema_version(s: &str) -> Option<u64> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    skip_ws(b, &mut i);
+    if b.get(i) != Some(&b'{') {
+        return None;
+    }
+    i += 1;
+    loop {
+        skip_ws(b, &mut i);
+        if b.get(i) != Some(&b'"') {
+            return None; // '}' of an empty/exhausted object, or junk
+        }
+        let key_start = i + 1;
+        parse_string(b, &mut i).ok()?;
+        let key = &s[key_start..i - 1];
+        skip_ws(b, &mut i);
+        if b.get(i) != Some(&b':') {
+            return None;
+        }
+        i += 1;
+        skip_ws(b, &mut i);
+        if key == "schema_version" {
+            let num_start = i;
+            parse_number(b, &mut i).ok()?;
+            return s[num_start..i].parse().ok();
+        }
+        parse_value(b, &mut i).ok()?;
+        skip_ws(b, &mut i);
+        match b.get(i) {
+            Some(b',') => i += 1,
+            _ => return None,
+        }
+    }
 }
 
 fn skip_ws(b: &[u8], i: &mut usize) {
@@ -476,7 +590,7 @@ mod tests {
                 cx.sync();
             }),
         };
-        let v = check_workload(&w, &SuiteOptions::default());
+        let v = check_workload(&w, &SuiteOptions::default()).expect("no journal is configured");
         assert_eq!(
             count.load(Ordering::Relaxed),
             2,
@@ -485,15 +599,18 @@ mod tests {
         assert!(v.runs > 1, "sweep must cover multiple specs");
         assert_eq!(v.replayed, v.runs, "all sweep runs should replay");
         assert!(v.clean(), "{}", v.report);
+        assert!(!v.partial, "an unbudgeted sweep is never partial");
+        assert!(v.uncovered.is_empty() && v.quarantined.is_empty());
     }
 
     #[test]
     fn suite_json_is_valid_and_round_trips_field_names() {
         let ws = vec![fig1::workload(Scale::Small)];
-        let rep = run_suite(&ws, &SuiteOptions::default());
+        let rep = run_suite(&ws, &SuiteOptions::default()).unwrap();
         let json = rep.to_json();
         validate_json(&json).expect("suite JSON must parse");
         for key in [
+            "\"schema_version\"",
             "\"name\"",
             "\"clean\"",
             "\"races\"",
@@ -503,6 +620,9 @@ mod tests {
             "\"m\"",
             "\"peer_set_checks\"",
             "\"spplus_checks\"",
+            "\"partial\"",
+            "\"uncovered\"",
+            "\"quarantined\"",
             "\"wall_ns\"",
             "\"record_ns\"",
             "\"sweep_ns\"",
@@ -510,7 +630,32 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+        assert_eq!(
+            embedded_schema_version(&json),
+            Some(u64::from(SCHEMA_VERSION)),
+            "suite JSON must carry the shared schema version"
+        );
         assert!(!rep.has_races());
+    }
+
+    #[test]
+    fn embedded_schema_version_scans_top_level_only() {
+        assert_eq!(
+            embedded_schema_version("{\"schema_version\": 7, \"x\": 1}"),
+            Some(7)
+        );
+        assert_eq!(
+            embedded_schema_version("{\"x\": [1, 2], \"schema_version\": 3}"),
+            Some(3)
+        );
+        // Nested occurrences are not format markers.
+        assert_eq!(
+            embedded_schema_version("{\"x\": {\"schema_version\": 9}}"),
+            None
+        );
+        assert_eq!(embedded_schema_version("[{\"schema_version\": 9}]"), None);
+        assert_eq!(embedded_schema_version("{}"), None);
+        assert_eq!(embedded_schema_version("42"), None);
     }
 
     #[test]
@@ -530,7 +675,7 @@ mod tests {
     #[test]
     fn racy_workload_is_flagged() {
         let ws = vec![fig1::workload_racy(Scale::Small)];
-        let rep = run_suite(&ws, &SuiteOptions::default());
+        let rep = run_suite(&ws, &SuiteOptions::default()).unwrap();
         assert!(rep.has_races(), "suite must flag the buggy Figure-1 entry");
         let json = rep.to_json();
         validate_json(&json).unwrap();

@@ -131,7 +131,7 @@ fn old_single_schedule_path_misses_the_interior_race() {
 fn suite_sweep_flags_the_interior_race() {
     // The fix: the suite's verdict now comes from the Section-7 sweep,
     // which includes the [Steal(1), Steal(2), Reduce, Steal(3)] triple.
-    let rep = suite::run_suite(&[interior_workload()], &SuiteOptions::default());
+    let rep = suite::run_suite(&[interior_workload()], &SuiteOptions::default()).unwrap();
     assert!(
         rep.has_races(),
         "suite sweep missed the interior reduce race"
@@ -223,7 +223,8 @@ fn suite_json_is_byte_identical_across_threads_and_schedulers() {
                 chunking,
                 ..SuiteOptions::default()
             },
-        );
+        )
+        .unwrap();
         zero_timings(&mut baseline);
         let want = baseline.to_json();
         for threads in [2, 4] {
@@ -236,7 +237,8 @@ fn suite_json_is_byte_identical_across_threads_and_schedulers() {
                         chunking,
                         ..SuiteOptions::default()
                     },
-                );
+                )
+                .unwrap();
                 zero_timings(&mut rep);
                 assert_eq!(
                     rep.to_json(),
@@ -251,7 +253,7 @@ fn suite_json_is_byte_identical_across_threads_and_schedulers() {
 
 #[test]
 fn suite_json_reports_the_racy_entry() {
-    let rep = suite::run_suite(&[interior_workload()], &SuiteOptions::default());
+    let rep = suite::run_suite(&[interior_workload()], &SuiteOptions::default()).unwrap();
     let json = rep.to_json();
     suite::validate_json(&json).expect("suite JSON must parse");
     assert!(json.contains("\"name\": \"interior\""));
